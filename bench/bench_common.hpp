@@ -1,0 +1,55 @@
+#pragma once
+// Shared setup for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one table or figure of the paper
+// (see DESIGN.md §5 for the experiment index) as an ASCII Table, and writes
+// CSV when SPARKXD_CSV_DIR is set. Accuracy experiments honour SPARKXD_SCALE
+// (default 1.0, sized for a single-core host) and SPARKXD_SEED.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/fault_aware.hpp"
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "snn/trainer.hpp"
+
+namespace sparkxd::bench {
+
+/// The paper's network sizes (number of excitatory neurons).
+inline const std::vector<std::size_t> kPaperSizes = {400, 900, 1600, 2500,
+                                                     3600};
+
+/// The paper's BER grid for Figs. 8 and 11.
+inline const std::vector<double> kPlotBers = {1e-9, 1e-7, 1e-5, 1e-3};
+
+/// Training-set size for a network of `neurons` neurons: larger networks
+/// need more presentations to label all receptive fields (the paper trains
+/// on the full MNIST training set for every size; we scale down for the
+/// single-core host, keeping samples roughly proportional to capacity).
+inline std::size_t train_samples_for(std::size_t neurons) {
+  return scaled(400 + neurons / 6, 120);
+}
+
+inline std::size_t test_samples() { return scaled(150, 60); }
+
+/// Standard network config for a bench run.
+inline snn::NetworkConfig net_config(std::size_t neurons) {
+  snn::NetworkConfig cfg;
+  cfg.n_neurons = neurons;
+  cfg.seed = experiment_seed();
+  return cfg;
+}
+
+/// Prints a one-line header so bench output is self-describing.
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n### SparkXD reproduction — %s\n### paper claim: %s\n",
+              experiment, claim);
+  std::printf("### scale=%.2f seed=%llu\n", workload_scale(),
+              static_cast<unsigned long long>(experiment_seed()));
+}
+
+}  // namespace sparkxd::bench

@@ -1,0 +1,25 @@
+// Fig. 1b: energy breakdown of SNN processing on TrueNorth, PEASE and
+// SNNAP (adapted from the study in Krithivasan et al. [5]).
+// Paper: memory accesses dominate, consuming ~50-75% of total energy.
+
+#include "bench_common.hpp"
+#include "energy/platform_model.hpp"
+
+int main() {
+  using namespace sparkxd;
+  bench::banner("Fig. 1b — platform energy breakdown",
+                "memory accesses consume ~50-75% of SNN processing energy");
+  // Workload of one N400 inference with the framework's default coding
+  // rate (~10% of inputs spiking per step on an average sample).
+  const auto w = energy::snn_inference_workload(784, 400, 100, 0.10);
+  Table t("fig01b_platform_breakdown",
+          {"platform", "computation", "communication", "memory accesses"});
+  for (const auto& p : energy::fig1b_platforms()) {
+    const auto s = energy::breakdown(p, w);
+    t.add_row({p.name, Table::pct(100.0 * s.computation),
+               Table::pct(100.0 * s.communication),
+               Table::pct(100.0 * s.memory)});
+  }
+  t.emit();
+  return 0;
+}

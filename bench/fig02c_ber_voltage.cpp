@@ -1,0 +1,23 @@
+// Fig. 2c: bit error rate vs DRAM supply voltage.
+// Paper: BER grows from ~0 near 1.35 V to ~1e-2 around 1.0 V as the supply
+// drops (study of Chang et al. [10]).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "energy/ber_model.hpp"
+
+int main() {
+  using namespace sparkxd;
+  bench::banner("Fig. 2c — BER vs supply voltage",
+                "bit errors increase as the supply voltage decreases");
+  const energy::BerModel bm;
+  Table t("fig02c_ber_voltage", {"V_supply [V]", "BER", "log10(BER)"});
+  for (double v = 1.350; v >= 1.024; v -= 0.025) {
+    const double ber = bm.ber(v);
+    t.add_row({Table::num(v, 3), ber > 0.0 ? Table::sci(ber) : "0",
+               ber > 0.0 ? Table::num(std::log10(ber), 2) : "-inf"});
+  }
+  t.emit();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 2d: DRAM array-voltage dynamics at 1.350 V vs 1.025 V.
+// Paper: the array voltage rises toward V_supply after ACT and returns to
+// V_supply/2 after PRE; the whole waveform sits lower at reduced supply.
+
+#include "bench_common.hpp"
+#include "energy/voltage_model.hpp"
+
+int main() {
+  using namespace sparkxd;
+  bench::banner("Fig. 2d — array voltage dynamics",
+                "DRAM array voltage decreases as the supply voltage "
+                "decreases (ACT at 0 ns, PRE at 45 ns)");
+  const energy::VoltageModel vm;
+  const double pre_at = 45.0;
+  const auto hi = vm.waveform(1.350, pre_at, 80.0, 5.0);
+  const auto lo = vm.waveform(1.025, pre_at, 80.0, 5.0);
+  Table t("fig02d_array_voltage",
+          {"t [ns]", "V_array @1.350V", "V_array @1.025V", "phase"});
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    t.add_row({Table::num(hi[i].t_ns, 0), Table::num(hi[i].v_array, 3),
+               Table::num(lo[i].v_array, 3),
+               hi[i].t_ns < pre_at ? "activate" : "precharge"});
+  }
+  t.emit();
+  return 0;
+}

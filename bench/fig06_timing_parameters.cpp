@@ -1,0 +1,29 @@
+// Fig. 6: minimum reliable DRAM timing parameters (tRCD / tRAS / tRP)
+// derived from the array-voltage waveform at each supply voltage.
+// Paper: the ready-to-access (75%), ready-to-precharge (98%) and
+// ready-to-activate (2% band) thresholds define the timings, which grow as
+// the supply voltage is reduced.
+
+#include "bench_common.hpp"
+#include "energy/voltage_model.hpp"
+
+int main() {
+  using namespace sparkxd;
+  bench::banner("Fig. 6 — voltage-derived timing parameters",
+                "reliable tRCD/tRAS/tRP grow as V_supply falls "
+                "(nominal 18/42/18 ns at 1.35 V)");
+  const energy::VoltageModel vm;
+  Table t("fig06_timing_parameters",
+          {"V_supply [V]", "tRCD [ns]", "tRAS [ns]", "tRP [ns]",
+           "tRCD (clocked)", "tRAS (clocked)", "tRP (clocked)"});
+  for (const double v : {1.350, 1.300, 1.250, 1.200, 1.150, 1.100, 1.050,
+                         1.025}) {
+    const auto clocked = vm.derive_timings(v);
+    t.add_row({Table::num(v, 3), Table::num(vm.t_rcd_ns(v), 1),
+               Table::num(vm.t_ras_ns(v), 1), Table::num(vm.t_rp_ns(v), 1),
+               Table::num(clocked.t_rcd, 2), Table::num(clocked.t_ras, 2),
+               Table::num(clocked.t_rp, 2)});
+  }
+  t.emit();
+  return 0;
+}

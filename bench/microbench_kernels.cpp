@@ -1,0 +1,127 @@
+// google-benchmark microkernels: the hot loops of every subsystem.
+// Not a paper figure — used to track the simulator's own performance.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "dram/controller.hpp"
+#include "error/injector.hpp"
+#include "mapping/mapping.hpp"
+#include "snn/network.hpp"
+#include "snn/trainer.hpp"
+
+namespace {
+
+using namespace sparkxd;
+
+void BM_LifStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  snn::LifLayer layer(n, snn::LifParams{}, 1.0f);
+  std::vector<float> current(n, 0.05f);
+  std::vector<std::uint32_t> spikes;
+  for (auto _ : state) {
+    layer.step(current, spikes);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LifStep)->Arg(400)->Arg(3600);
+
+void BM_StdpUpdate(benchmark::State& state) {
+  const std::size_t ni = 784;
+  std::vector<float> w(ni, 0.1f);
+  std::vector<float> x(ni, 0.5f);
+  const snn::StdpParams p;
+  for (auto _ : state) {
+    snn::stdp_post_update(w.data(), ni, x, p);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ni));
+}
+BENCHMARK(BM_StdpUpdate);
+
+void BM_PoissonEncodeStep(benchmark::State& state) {
+  const auto ds = data::make_dataset(data::Task::kDigits, 1, 1);
+  snn::PoissonEncoder enc(0.3f);
+  enc.set_image(ds.images[0]);
+  Rng rng(1);
+  std::vector<std::uint32_t> spikes;
+  for (auto _ : state) {
+    enc.step(rng, spikes);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+}
+BENCHMARK(BM_PoissonEncodeStep);
+
+void BM_NetworkInference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  snn::NetworkConfig cfg;
+  cfg.n_neurons = n;
+  snn::Network net(cfg);
+  const auto ds = data::make_dataset(data::Task::kDigits, 1, 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto counts = net.process(ds.images[0], false, rng);
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_NetworkInference)->Arg(400)->Arg(1600);
+
+void BM_ControllerStreaming(benchmark::State& state) {
+  const auto g = dram::Geometry::lpddr3_4gb();
+  const std::size_t n_weights = 784 * 400;
+  const auto place = mapping::baseline_placement(g, n_weights);
+  const auto trace = mapping::streaming_read_trace(g, place, n_weights);
+  dram::Controller c(g, dram::TimingParams::lpddr3_1600());
+  for (auto _ : state) {
+    auto stats = c.run(trace);
+    benchmark::DoNotOptimize(&stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_ControllerStreaming);
+
+void BM_InjectorBuild(benchmark::State& state) {
+  const auto g = dram::Geometry::lpddr3_4gb();
+  const error::SubarrayProfile profile(g, 1);
+  const std::size_t n_weights = 784 * 400;
+  const auto place = mapping::baseline_placement(g, n_weights);
+  for (auto _ : state) {
+    auto inj = error::ErrorInjector::for_weights(g, profile, {}, place, n_weights, 1, 1e-3);
+    benchmark::DoNotOptimize(&inj);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n_weights) * 32);
+}
+BENCHMARK(BM_InjectorBuild);
+
+void BM_InjectorInject(benchmark::State& state) {
+  const auto g = dram::Geometry::lpddr3_4gb();
+  const error::SubarrayProfile profile(g, 1);
+  const std::size_t n_weights = 784 * 400;
+  const auto place = mapping::baseline_placement(g, n_weights);
+  const auto inj = error::ErrorInjector::for_weights(g, profile, {}, place, n_weights, 1, 1e-3);
+  std::vector<float> w(n_weights, 0.1f);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.inject(w, 1e-3, rng));
+  }
+}
+BENCHMARK(BM_InjectorInject);
+
+void BM_SparkXdPlacement(benchmark::State& state) {
+  const auto g = dram::Geometry::lpddr3_4gb();
+  const error::SubarrayProfile profile(g, 1);
+  const std::size_t n_weights = 784 * 3600;
+  for (auto _ : state) {
+    auto p = mapping::sparkxd_placement(g, profile, 1e-3, 1e-3, n_weights);
+    benchmark::DoNotOptimize(p.chunks.data());
+  }
+}
+BENCHMARK(BM_SparkXdPlacement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Table I: energy savings over the baseline (accurate DRAM at 1.350 V)
+// considering the DRAM energy-per-access, for each reduced supply voltage.
+// Paper: 3.92% / 14.29% / 24.33% / 33.59% / 42.40%.
+
+#include "bench_common.hpp"
+#include "energy/power_model.hpp"
+#include "energy/voltage_model.hpp"
+
+int main() {
+  using namespace sparkxd;
+  bench::banner("Table I — DRAM energy-per-access savings",
+                "3.92/14.29/24.33/33.59/42.40 % at "
+                "1.325/1.250/1.175/1.100/1.025 V");
+  const energy::PowerModel pm;
+  const double paper[] = {3.92, 14.29, 24.33, 33.59, 42.40};
+  const double base = pm.array_energy_per_access_nj(energy::kNominalVdd);
+
+  Table t("table1_energy_per_access",
+          {"V_supply [V]", "paper saving", "measured saving", "delta [pp]"});
+  int i = 0;
+  for (const double v : energy::kEvalVoltages) {
+    const double measured =
+        100.0 * (1.0 - pm.array_energy_per_access_nj(v) / base);
+    t.add_row({Table::num(v, 3), Table::pct(paper[i]), Table::pct(measured),
+               Table::num(measured - paper[i], 2)});
+    ++i;
+  }
+  t.emit();
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+// Bit-level views of stored data.
+//
+// Approximate DRAM corrupts *stored bits*; SparkXD stores FP32 synaptic
+// weights. These helpers provide the exact bit-pattern view used by the error
+// injector (src/error) and by tests that reason about MSB/LSB sensitivity.
+
+#include <bit>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd {
+
+/// Reinterprets an IEEE-754 binary32 as its 32-bit pattern.
+[[nodiscard]] constexpr std::uint32_t float_to_bits(float f) noexcept {
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+/// Reinterprets a 32-bit pattern as an IEEE-754 binary32.
+[[nodiscard]] constexpr float bits_to_float(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+/// Flips bit `bit` (0 = LSB … 31 = MSB/sign) of a 32-bit word.
+[[nodiscard]] constexpr std::uint32_t flip_bit(std::uint32_t word,
+                                               unsigned bit) noexcept {
+  return word ^ (std::uint32_t{1} << bit);
+}
+
+/// Flips bit `bit` of the stored representation of a float.
+[[nodiscard]] inline float flip_float_bit(float f, unsigned bit) {
+  SPARKXD_REQUIRE(bit < 32, "binary32 has bits 0..31");
+  return bits_to_float(flip_bit(float_to_bits(f), bit));
+}
+
+/// True if the word's bit `bit` is set.
+[[nodiscard]] constexpr bool test_bit(std::uint32_t word,
+                                      unsigned bit) noexcept {
+  return (word >> bit) & 1u;
+}
+
+/// Number of bits that differ between two 32-bit patterns.
+[[nodiscard]] constexpr int hamming_distance(std::uint32_t a,
+                                             std::uint32_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// Rounds `bytes` up to a multiple of `align` (align must be a power of two).
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t bytes,
+                                               std::uint64_t align) noexcept {
+  return (bytes + align - 1) & ~(align - 1);
+}
+
+/// True if x is a power of two (and non-zero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_pow2(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(std::countr_zero(x));
+}
+
+}  // namespace sparkxd

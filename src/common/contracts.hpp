@@ -1,0 +1,47 @@
+#pragma once
+// Lightweight contract checking (Core Guidelines I.6/I.8 style).
+//
+// SPARKXD_REQUIRE  - precondition on a public API; always on (throws).
+// SPARKXD_ENSURE   - postcondition / internal invariant; always on (throws).
+//
+// We throw rather than abort so that tests can assert on violations and so that
+// long-running benchmark harnesses fail with a diagnosable message.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparkxd {
+
+/// Error thrown when a precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace sparkxd
+
+#define SPARKXD_REQUIRE(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::sparkxd::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                       __LINE__, (msg));                      \
+  } while (false)
+
+#define SPARKXD_ENSURE(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::sparkxd::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                       __LINE__, (msg));                      \
+  } while (false)

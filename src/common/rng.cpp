@@ -1,0 +1,141 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace sparkxd {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // Feed both words through splitmix64 so even adjacent ids decorrelate.
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Mix the full current state with the stream id; do not advance *this.
+  std::uint64_t h = stream_id;
+  for (const auto w : state_) h = hash_combine(h, w);
+  return Rng(h);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SPARKXD_REQUIRE(lo <= hi, "uniform(lo, hi) needs lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPARKXD_REQUIRE(lo <= hi, "uniform_int(lo, hi) needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  SPARKXD_REQUIRE(n > 0, "index(n) needs n > 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::bernoulli(double p) {
+  SPARKXD_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability out of [0,1]");
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::normal(double mean, double sigma) {
+  SPARKXD_REQUIRE(sigma >= 0.0, "normal sigma must be >= 0");
+  return mean + sigma * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  SPARKXD_REQUIRE(lambda >= 0.0, "poisson lambda must be >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth: multiply uniforms until below exp(-lambda).
+    const double l = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Rng::exponential(double rate) {
+  SPARKXD_REQUIRE(rate > 0.0, "exponential rate must be > 0");
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  SPARKXD_REQUIRE(k <= n, "cannot sample more items than the population");
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n) time.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace sparkxd

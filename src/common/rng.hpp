@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole framework.
+//
+// Everything in SparkXD that is stochastic (dataset synthesis, Poisson spike
+// coding, weak-cell placement, error injection, weight init) draws from this
+// generator so that every experiment is reproducible from a single 64-bit seed.
+//
+// The engine is xoshiro256** (Blackman & Vigna) seeded through splitmix64;
+// it is fast, has 256-bit state, and — unlike std::mt19937 — its output for a
+// given seed is fully specified here, independent of the standard library.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashes.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of two values (for deriving per-entity substream seeds).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// Distribution helpers are member functions (not std:: distributions) so the
+/// produced sequences are identical across standard libraries and platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  /// Derives an independent substream, e.g. `rng.fork(neuron_index)`.
+  /// Forking does not advance this generator's state.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t next_u64() noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (no state caching; two draws per sample).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Poisson-distributed count with given mean (lambda >= 0).
+  /// Uses Knuth's method for small lambda and normal approximation above 64.
+  std::uint64_t poisson(double lambda);
+
+  /// Exponential with given rate (rate > 0).
+  double exponential(double rate);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sparkxd

@@ -1,0 +1,102 @@
+#include "common/table.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd {
+
+Table::Table(std::string name, std::vector<std::string> header)
+    : name_(std::move(name)), header_(std::move(header)) {
+  SPARKXD_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SPARKXD_REQUIRE(row.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << '%';
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+
+  os << "== " << name_ << " ==\n";
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::emit() const {
+  print(std::cout);
+  std::cout.flush();
+  if (const char* dir = std::getenv("SPARKXD_CSV_DIR")) {
+    std::ofstream csv(std::string(dir) + "/" + name_ + ".csv");
+    if (!csv) {
+      std::cerr << "sparkxd: cannot write CSV for " << name_ << " in " << dir
+                << '\n';
+      return;
+    }
+    const auto write_row = [&csv](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) csv << ',';
+        // Quote cells containing separators.
+        if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+          csv << '"';
+          for (const char ch : cells[c]) {
+            if (ch == '"') csv << '"';
+            csv << ch;
+          }
+          csv << '"';
+        } else {
+          csv << cells[c];
+        }
+      }
+      csv << '\n';
+    };
+    write_row(header_);
+    for (const auto& row : rows_) write_row(row);
+  }
+}
+
+}  // namespace sparkxd

@@ -1,0 +1,44 @@
+#pragma once
+// ASCII table / CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the paper's rows/series as an aligned ASCII table
+// on stdout; when the environment variable SPARKXD_CSV_DIR is set, the same
+// table is additionally written as `<dir>/<name>.csv` for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparkxd {
+
+/// Column-aligned table with a title and a header row.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 3);
+  /// Scientific notation, e.g. "1.0e-05".
+  static std::string sci(double v, int precision = 1);
+  /// Percent with sign, e.g. "39.46%".
+  static std::string pct(double v, int precision = 2);
+
+  /// Writes the aligned ASCII rendering.
+  void print(std::ostream& os) const;
+
+  /// Prints to stdout and, if SPARKXD_CSV_DIR is set, writes `<name>.csv` there.
+  void emit() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sparkxd

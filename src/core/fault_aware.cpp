@@ -1,0 +1,105 @@
+#include "core/fault_aware.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::core {
+
+double evaluate_corrupted(snn::Network& net, const snn::NeuronLabels& labels,
+                          const error::ErrorInjector& injector, double ber,
+                          const data::Dataset& test, Rng& rng,
+                          std::size_t trials, float weight_clip) {
+  SPARKXD_REQUIRE(trials >= 1, "need at least one evaluation trial");
+  const std::vector<float> snapshot = net.weights();
+  const error::SanitizeRange sanitize{net.config().stdp.w_min, weight_clip};
+  double acc_sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    net.weights_mut() = snapshot;
+    injector.inject(net.weights_mut(), ber, rng, sanitize);
+    acc_sum += snn::evaluate(net, labels, test, rng);
+  }
+  net.weights_mut() = snapshot;
+  return acc_sum / static_cast<double>(trials);
+}
+
+FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
+                                         const FaultTrainingConfig& cfg,
+                                         const error::ErrorInjector& injector,
+                                         const data::Dataset& train,
+                                         const data::Dataset& test, Rng& rng) {
+  SPARKXD_REQUIRE(!cfg.ber_stages.empty(), "need at least one BER stage");
+  SPARKXD_REQUIRE(std::is_sorted(cfg.ber_stages.begin(), cfg.ber_stages.end()),
+                  "BER stages must be ascending (Algorithm 1 raises the BER)");
+  SPARKXD_REQUIRE(cfg.epochs_per_stage >= 1, "need at least one epoch/stage");
+
+  const double target = baseline.clean_accuracy - cfg.accuracy_bound;
+  const error::SanitizeRange sanitize{baseline.net.config().stdp.w_min,
+                                      cfg.weight_clip};
+
+  // model_temp starts as a copy of the baseline (Algorithm 1 line 1).
+  snn::TrainedModel model_temp = baseline;
+  FaultAwareResult result{baseline, 0.0, false, {}};
+
+  for (const double rate : cfg.ber_stages) {
+    for (std::size_t e = 0; e < cfg.epochs_per_stage; ++e) {
+      // Error generation + injection into the stored weights (lines 3-4):
+      // the training epoch then runs on the corrupted weights, and STDP
+      // re-routes weight mass away from unreliable cells.
+      injector.inject(model_temp.net.weights_mut(), rate, rng, sanitize);
+      snn::train_epoch(model_temp.net, train, rng);
+    }
+    // Re-label (receptive fields move during retraining). When configured,
+    // the calibration pass itself runs on corrupted weights, as it would on
+    // the deployed approximate DRAM — neurons inflated by their weak cells
+    // then carry a high bias and are discounted by the vote at inference.
+    if (cfg.calibrate_under_errors) {
+      const std::vector<float> snapshot = model_temp.net.weights();
+      injector.inject(model_temp.net.weights_mut(), rate, rng, sanitize);
+      model_temp.labels = snn::label_neurons(model_temp.net, train, rng);
+      model_temp.net.weights_mut() = snapshot;
+    } else {
+      model_temp.labels = snn::label_neurons(model_temp.net, train, rng);
+    }
+    // Test under corruption at this stage's rate (lines 8-9).
+    const double acc = evaluate_corrupted(model_temp.net, model_temp.labels,
+                                          injector, rate, test, rng,
+                                          cfg.eval_trials, cfg.weight_clip);
+    result.stage_curve.push_back({rate, acc});
+    // Lines 10-13: accept this stage if it still meets the target.
+    if (acc >= target) {
+      result.improved = model_temp;
+      result.improved.clean_accuracy = acc;
+      result.ber_th = rate;
+      result.met_target = true;
+    }
+  }
+  // If no stage met the bound, return the last trained model with ber_th 0
+  // (callers check met_target).
+  if (!result.met_target) result.improved = model_temp;
+  return result;
+}
+
+ToleranceAnalysis analyze_tolerance(snn::Network& net,
+                                    const snn::NeuronLabels& labels,
+                                    const error::ErrorInjector& injector,
+                                    const std::vector<double>& rates,
+                                    double target_accuracy,
+                                    const data::Dataset& test, Rng& rng,
+                                    std::size_t trials) {
+  SPARKXD_REQUIRE(std::is_sorted(rates.begin(), rates.end()),
+                  "linear search expects ascending BER values");
+  ToleranceAnalysis out;
+  for (const double ber : rates) {
+    const double acc =
+        evaluate_corrupted(net, labels, injector, ber, test, rng, trials);
+    out.curve.push_back({ber, acc});
+    if (acc >= target_accuracy) {
+      out.ber_th = ber;
+      out.met_target = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace sparkxd::core

@@ -1,0 +1,104 @@
+#pragma once
+// Improving and analyzing the SNN error tolerance — the paper's Algorithm 1
+// (§IV-B and §IV-C).
+//
+// Fault-aware training: starting from the baseline model, bit errors are
+// injected into the DRAM-resident weights at a stage BER and the network is
+// retrained for one or more STDP epochs; the BER is then raised (the paper
+// uses 10x increments) and the process repeats up to the maximum rate. The
+// network gradually learns not to rely on weights stored in weak cells
+// (weak-cell locations are fixed — see ErrorInjector).
+//
+// Tolerance analysis: a linear search over the BER stages finds the largest
+// rate whose corrupted-inference accuracy still meets the user bound
+// (valid because the accuracy-vs-BER curve is monotonically non-increasing,
+// paper Fig. 8).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "error/injector.hpp"
+#include "snn/trainer.hpp"
+
+namespace sparkxd::core {
+
+/// Load-time range clipping of DRAM-resident weights (the EDEN-style
+/// mitigation this paper's error-injection setup inherits): any weight read
+/// back outside [w_min, kDefaultWeightClip] is clamped. Without it a single
+/// upward exponent-bit flip turns a ~0.08 weight into w_max and one corrupted
+/// neuron can hijack the WTA competition; with it, bit errors degrade
+/// accuracy gradually — the regime the paper's Fig. 11 operates in.
+inline constexpr float kDefaultWeightClip = 0.4f;
+
+/// Fault-aware training schedule (paper Algorithm 1 inputs).
+struct FaultTrainingConfig {
+  /// Ascending BER stages; paper: decades from 1e-9 to 1e-3.
+  std::vector<double> ber_stages = {1e-9, 1e-8, 1e-7, 1e-6,
+                                    1e-5, 1e-4, 1e-3};
+  std::size_t epochs_per_stage = 1;
+  /// Target accuracy bound: accuracy must stay within this of the error-free
+  /// baseline (paper: 1%).
+  double accuracy_bound = 0.01;
+  /// Injections of fresh error draws per accuracy evaluation (averaged).
+  std::size_t eval_trials = 1;
+  /// Range-clipping bound applied when corrupted weights are loaded.
+  float weight_clip = kDefaultWeightClip;
+  /// Calibrate the readout (neuron labels + bias) on corrupted weights —
+  /// the deployed labelling pass runs against the approximate DRAM, so
+  /// neurons inflated by their weak cells carry high bias and are
+  /// discounted by the vote.
+  bool calibrate_under_errors = true;
+};
+
+/// One (BER, accuracy) point of an error-tolerance curve.
+struct TolerancePoint {
+  double ber = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Output of Algorithm 1.
+struct FaultAwareResult {
+  snn::TrainedModel improved;  ///< model_1 of Algorithm 1
+  double ber_th = 0.0;         ///< maximum tolerable BER meeting the bound
+  bool met_target = false;     ///< true if any stage met the bound
+  std::vector<TolerancePoint> stage_curve;  ///< accuracy after each stage
+};
+
+/// Evaluates a model with weights corrupted at `ber` through `injector`
+/// (weights are snapshotted and restored). Averages `trials` fresh error
+/// draws. `weight_clip` is the load-time range clip applied to corrupted
+/// values.
+[[nodiscard]] double evaluate_corrupted(snn::Network& net,
+                                        const snn::NeuronLabels& labels,
+                                        const error::ErrorInjector& injector,
+                                        double ber, const data::Dataset& test,
+                                        Rng& rng, std::size_t trials = 1,
+                                        float weight_clip = kDefaultWeightClip);
+
+/// Algorithm 1: improves the baseline model's error tolerance and records
+/// the largest stage BER whose accuracy meets
+/// (baseline.clean_accuracy - cfg.accuracy_bound).
+/// `injector` must be built over the training-time (baseline) placement.
+[[nodiscard]] FaultAwareResult improve_error_tolerance(
+    const snn::TrainedModel& baseline, const FaultTrainingConfig& cfg,
+    const error::ErrorInjector& injector, const data::Dataset& train,
+    const data::Dataset& test, Rng& rng);
+
+/// §IV-C tolerance analysis on an already-trained model: evaluates the
+/// corrupted accuracy at every BER in `rates` (ascending) and returns the
+/// curve plus the largest rate meeting `target_accuracy`.
+struct ToleranceAnalysis {
+  std::vector<TolerancePoint> curve;
+  double ber_th = 0.0;
+  bool met_target = false;
+};
+
+[[nodiscard]] ToleranceAnalysis analyze_tolerance(
+    snn::Network& net, const snn::NeuronLabels& labels,
+    const error::ErrorInjector& injector, const std::vector<double>& rates,
+    double target_accuracy, const data::Dataset& test, Rng& rng,
+    std::size_t trials = 1);
+
+}  // namespace sparkxd::core

@@ -1,0 +1,126 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "dram/controller.hpp"
+#include "snn/trainer.hpp"
+
+namespace sparkxd::core {
+
+TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
+                                 const error::ChunkPlacement& placement,
+                                 std::size_t n_weights, double v_supply,
+                                 const energy::VoltageModel& vm,
+                                 const energy::PowerModel& pm) {
+  const auto timing = vm.derive_timings(v_supply);
+  dram::Controller controller(geometry, timing);
+  const auto trace =
+      mapping::streaming_read_trace(geometry, placement, n_weights);
+  TraceEnergy te;
+  te.stats = controller.run(trace, kBurstArrivalNs);
+  te.energy = pm.trace_energy(te.stats, v_supply);
+  return te;
+}
+
+PipelineReport run_pipeline(const PipelineConfig& cfg) {
+  SPARKXD_REQUIRE(!cfg.voltages.empty(), "need at least one supply voltage");
+  Rng rng(cfg.seed);
+  PipelineReport report;
+
+  // --- Data + baseline model (accurate DRAM). -----------------------------
+  const auto all = data::make_dataset(
+      cfg.task, cfg.train_samples + cfg.test_samples, cfg.seed);
+  const auto train = all.take(cfg.train_samples);
+  const auto test = all.drop(cfg.train_samples);
+
+  auto baseline = snn::train_and_label(cfg.network, train, test,
+                                       cfg.baseline_epochs, rng);
+  report.baseline_accuracy = baseline.clean_accuracy;
+
+  // --- Substrate models. ---------------------------------------------------
+  const energy::VoltageModel voltage_model;
+  const energy::BerModel ber_model;
+  const energy::PowerModel power_model;
+  const error::SubarrayProfile profile(cfg.geometry, cfg.seed,
+                                       cfg.subarray_sigma);
+  const std::size_t n_weights =
+      cfg.network.n_inputs * cfg.network.n_neurons;
+
+  // Training-time injector: the paper trains against the *baseline* mapping
+  // (weights in subsequent addresses of a bank, §IV-B Step-2).
+  const auto base_place = mapping::baseline_placement(cfg.geometry, n_weights);
+  const double max_stage_ber = cfg.fault_training.ber_stages.back();
+  const auto train_injector = error::ErrorInjector::for_weights(
+      cfg.geometry, profile, cfg.error_model, base_place, n_weights,
+      cfg.seed, max_stage_ber);
+
+  // --- Algorithm 1: fault-aware training + BER_th. -------------------------
+  auto fa = improve_error_tolerance(baseline, cfg.fault_training,
+                                    train_injector, train, test, rng);
+  report.ber_th = fa.ber_th;
+  report.met_target = fa.met_target;
+  report.stage_curve = std::move(fa.stage_curve);
+  report.improved_accuracy =
+      snn::evaluate(fa.improved.net, fa.improved.labels, test, rng);
+
+  // --- Baseline energy reference: accurate DRAM @ 1.35 V, baseline map. ----
+  const auto base_te = weight_stream_energy(
+      cfg.geometry, base_place, n_weights, energy::kNominalVdd, voltage_model,
+      power_model);
+  report.baseline_energy_nj = base_te.energy.total_nj();
+  report.baseline_time_ns = base_te.stats.total_time_ns;
+
+  // --- Per-voltage: Algorithm 2 mapping + accuracy + energy. ---------------
+  for (const double v : cfg.voltages) {
+    VoltageReport row;
+    row.v_supply = v;
+    row.module_ber = ber_model.ber(v);
+
+    // Algorithm 2 needs enough safe capacity; if the learned BER_th is too
+    // strict to fit the weights at this operating BER, relax it to the
+    // smallest feasible threshold and report that honestly.
+    double threshold = fa.met_target ? fa.ber_th : 0.0;
+    mapping::SparkXdPlacement placement;
+    for (;;) {
+      try {
+        placement = mapping::sparkxd_placement(cfg.geometry, profile,
+                                               row.module_ber, threshold,
+                                               n_weights);
+        break;
+      } catch (const ContractViolation&) {
+        row.capacity_relaxed = true;
+        threshold = threshold == 0.0 ? row.module_ber * 0.125 : threshold * 2.0;
+        SPARKXD_REQUIRE(threshold < 1.0,
+                        "weights cannot fit even with every subarray unsafe");
+      }
+    }
+    row.safe_subarrays = placement.safe_subarrays;
+
+    // Accuracy of the improved model with errors drawn through the
+    // Algorithm-2 placement at this voltage's module BER.
+    const auto eval_injector = error::ErrorInjector::for_weights(
+        cfg.geometry, profile, cfg.error_model, placement.chunks, n_weights,
+        cfg.seed, std::max(row.module_ber, 1e-12));
+    row.accuracy = evaluate_corrupted(
+        fa.improved.net, fa.improved.labels, eval_injector, row.module_ber,
+        test, rng, cfg.fault_training.eval_trials,
+        cfg.fault_training.weight_clip);
+
+    // Energy + throughput of the SparkXD mapping at this voltage.
+    const auto te = weight_stream_energy(cfg.geometry, placement.chunks,
+                                         n_weights, v, voltage_model,
+                                         power_model);
+    row.energy_nj = te.energy.total_nj();
+    row.saving_pct =
+        100.0 * (1.0 - row.energy_nj / report.baseline_energy_nj);
+    row.speedup = te.stats.total_time_ns > 0.0
+                      ? report.baseline_time_ns / te.stats.total_time_ns
+                      : 1.0;
+    row.row_hit_rate = te.stats.hit_rate();
+    report.per_voltage.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace sparkxd::core

@@ -1,0 +1,89 @@
+#pragma once
+// The end-to-end SparkXD pipeline (paper Fig. 7): baseline training ->
+// fault-aware training (Algorithm 1) -> tolerance analysis -> error-aware
+// DRAM mapping (Algorithm 2) -> DRAM energy / throughput evaluation across
+// supply voltages.
+//
+// This is the top-level API a deployment would use: give it a task and a
+// network size, get back the improved model, its maximum tolerable BER, and
+// a per-voltage report of accuracy, energy and speed against the accurate-
+// DRAM baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_aware.hpp"
+#include "dram/geometry.hpp"
+#include "energy/ber_model.hpp"
+#include "energy/power_model.hpp"
+#include "energy/voltage_model.hpp"
+#include "error/error_model.hpp"
+#include "mapping/mapping.hpp"
+#include "snn/params.hpp"
+
+namespace sparkxd::core {
+
+/// Full pipeline configuration.
+struct PipelineConfig {
+  snn::NetworkConfig network;
+  data::Task task = data::Task::kDigits;
+  std::size_t train_samples = 600;
+  std::size_t test_samples = 200;
+  std::size_t baseline_epochs = 2;
+  FaultTrainingConfig fault_training;
+  /// Supply voltages to evaluate (paper: 1.325 .. 1.025 V).
+  std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
+  dram::Geometry geometry = dram::Geometry::lpddr3_4gb();
+  error::ErrorModelSpec error_model;  ///< Model-0 by default (paper §III)
+  std::uint64_t seed = 42;
+  /// Lognormal spread of per-subarray error rates.
+  double subarray_sigma = 0.8;
+};
+
+/// Per-voltage evaluation row (one bar group of Fig. 12a / 12b).
+struct VoltageReport {
+  double v_supply = 0.0;
+  double module_ber = 0.0;
+  double accuracy = 0.0;       ///< improved SNN + Algorithm 2 mapping
+  double energy_nj = 0.0;      ///< DRAM energy of one inference weight fetch
+  double saving_pct = 0.0;     ///< vs the accurate-DRAM baseline
+  double speedup = 1.0;        ///< baseline time / SparkXD time
+  double row_hit_rate = 0.0;
+  std::size_t safe_subarrays = 0;
+  bool capacity_relaxed = false;  ///< BER_th raised to fit the weights
+};
+
+/// Full pipeline output.
+struct PipelineReport {
+  double baseline_accuracy = 0.0;  ///< baseline SNN, accurate DRAM
+  double improved_accuracy = 0.0;  ///< improved SNN, error-free weights
+  double ber_th = 0.0;
+  bool met_target = false;
+  std::vector<TolerancePoint> stage_curve;
+  double baseline_energy_nj = 0.0;  ///< accurate DRAM @1.35 V, baseline map
+  double baseline_time_ns = 0.0;
+  std::vector<VoltageReport> per_voltage;
+};
+
+/// Runs the whole framework. Deterministic in cfg.seed.
+[[nodiscard]] PipelineReport run_pipeline(const PipelineConfig& cfg);
+
+/// Burst request arrival period seen by the DRAM: the accelerator consumes
+/// one 32 B weight burst per MAC-array pass, slightly slower than the bus
+/// can stream (tBURST = 5 ns), so short bank-preparation stalls are partially
+/// hidden. Both mappings are simulated under the same arrival process.
+inline constexpr double kBurstArrivalNs = 5.4;
+
+/// Helper shared with the benches: DRAM stats + energy of streaming all
+/// weights of an n_weights model through a placement at a supply voltage.
+struct TraceEnergy {
+  dram::TraceStats stats;
+  energy::EnergyBreakdown energy;
+};
+[[nodiscard]] TraceEnergy weight_stream_energy(
+    const dram::Geometry& geometry, const error::ChunkPlacement& placement,
+    std::size_t n_weights, double v_supply,
+    const energy::VoltageModel& vm = energy::VoltageModel{},
+    const energy::PowerModel& pm = energy::PowerModel{});
+
+}  // namespace sparkxd::core

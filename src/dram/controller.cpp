@@ -1,0 +1,115 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::dram {
+
+Controller::Controller(const Geometry& geometry, const TimingParams& timing,
+                       bool subarray_level_parallelism)
+    : geom_(geometry), timing_(timing), salp_(subarray_level_parallelism) {
+  geom_.validate();
+  const std::size_t n_banks = geom_.channels * geom_.ranks_per_channel *
+                              geom_.chips_per_rank * geom_.banks_per_chip;
+  banks_.resize(salp_ ? n_banks * geom_.subarrays_per_bank : n_banks);
+}
+
+std::size_t Controller::buffer_index(const Address& a) const {
+  const auto bank = bank_id(geom_, a);
+  return salp_ ? bank * geom_.subarrays_per_bank + a.subarray : bank;
+}
+
+void Controller::reset_state() {
+  for (auto& b : banks_) b = BankState{};
+  bus_ready_ns_ = 0.0;
+  last_act_ns_ = -1.0e18;
+}
+
+RowBufferOutcome Controller::classify(const Access& access) const {
+  const auto& bank = banks_[buffer_index(access.addr)];
+  if (!bank.open) return RowBufferOutcome::kMiss;
+  return bank.open_row == bank_row(geom_, access.addr)
+             ? RowBufferOutcome::kHit
+             : RowBufferOutcome::kConflict;
+}
+
+TraceStats Controller::run(const AccessTrace& trace,
+                           double arrival_interval_ns) {
+  SPARKXD_REQUIRE(arrival_interval_ns >= 0.0,
+                  "arrival interval must be non-negative");
+  reset_state();
+  TraceStats stats;
+  stats.accesses = trace.size();
+  double makespan = 0.0;
+  std::size_t index = 0;
+
+  for (const auto& access : trace) {
+    check_address(geom_, access.addr);
+    auto& bank = banks_[buffer_index(access.addr)];
+    const auto row = bank_row(geom_, access.addr);
+    const auto outcome = classify(access);
+    const double arrival =
+        arrival_interval_ns * static_cast<double>(index++);
+
+    // When can the column (RD/WR) command issue to this bank?
+    double cmd_ready = std::max(bank.ready_ns, arrival);
+    switch (outcome) {
+      case RowBufferOutcome::kHit:
+        ++stats.hits;
+        break;
+      case RowBufferOutcome::kConflict: {
+        ++stats.conflicts;
+        // PRE may only issue tRAS after the open row's ACT.
+        const double pre_at = std::max(
+            {bank.ready_ns, arrival, bank.act_ns + timing_.t_ras});
+        const double act_at =
+            std::max(pre_at + timing_.t_rp, last_act_ns_ + timing_.t_rrd);
+        ++stats.precharges;
+        ++stats.activates;
+        bank.act_ns = act_at;
+        last_act_ns_ = act_at;
+        cmd_ready = act_at + timing_.t_rcd;
+        break;
+      }
+      case RowBufferOutcome::kMiss: {
+        ++stats.misses;
+        const double act_at = std::max(
+            {bank.ready_ns, arrival, last_act_ns_ + timing_.t_rrd});
+        ++stats.activates;
+        bank.act_ns = act_at;
+        last_act_ns_ = act_at;
+        cmd_ready = act_at + timing_.t_rcd;
+        break;
+      }
+    }
+    bank.open = true;
+    bank.open_row = row;
+
+    // Data appears tCL after the column command; the shared data bus
+    // serializes bursts, while PRE/ACT of *other* banks proceed under cover
+    // of ongoing bursts — the multi-bank overlap of Fig. 9b.
+    const double data_start =
+        std::max(cmd_ready + timing_.t_cl, bus_ready_ns_);
+    const double data_end = data_start + timing_.t_burst;
+    bus_ready_ns_ = data_end;
+    // The next column command to this bank may issue one burst slot after
+    // this one (tCCD ~= tBURST for BL8).
+    bank.ready_ns = data_start - timing_.t_cl + timing_.t_burst;
+    if (access.type == AccessType::kRead)
+      ++stats.reads;
+    else
+      ++stats.writes;
+    makespan = std::max(makespan, data_end);
+  }
+
+  // Every still-open row is eventually precharged; account the commands (the
+  // trailing tRP is not on the critical path of the data makespan).
+  for (auto& b : banks_)
+    if (b.open) ++stats.precharges;
+
+  stats.total_time_ns = makespan;
+  return stats;
+}
+
+}  // namespace sparkxd::dram

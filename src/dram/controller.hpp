@@ -1,0 +1,65 @@
+#pragma once
+// DRAM controller simulation.
+//
+// An open-row-policy controller with per-bank state and a shared data bus:
+// each access is classified as a row-buffer hit, miss, or conflict
+// (paper §II-B1); ACT/PRE latencies of different banks overlap with data
+// bursts on the bus, which is how the multi-bank burst feature of Fig. 9b
+// buys throughput. The simulation is event-free (one pass over the trace,
+// per-bank ready times), which is exact for in-order single-request-stream
+// workloads like streaming weight reads.
+
+#include <vector>
+
+#include "dram/geometry.hpp"
+#include "dram/timing.hpp"
+#include "dram/trace.hpp"
+
+namespace sparkxd::dram {
+
+/// Simulates a trace and produces timing + row-buffer statistics.
+class Controller {
+ public:
+  /// `subarray_level_parallelism` models the SALP-style architecture the
+  /// paper's §IV-D references (Putra et al. [14]): each *subarray* keeps its
+  /// own local row buffer, so switching rows across subarrays of one bank is
+  /// a miss (ACT only) rather than a conflict (PRE + ACT). Commodity DRAM
+  /// (the default, false) has one row buffer per bank.
+  Controller(const Geometry& geometry, const TimingParams& timing,
+             bool subarray_level_parallelism = false);
+
+  /// Classifies and times every access in order. Resets state first, so each
+  /// call simulates an independent trace (all banks initially idle).
+  ///
+  /// `arrival_interval_ns` models the consumer: request i arrives at
+  /// i * interval (an accelerator consuming one burst per MAC-array pass).
+  /// 0 = back-to-back (pure DRAM-limited streaming).
+  TraceStats run(const AccessTrace& trace, double arrival_interval_ns = 0.0);
+
+  /// Classifies a single access against current state *without* advancing
+  /// time (used by tests and by the energy model's per-condition probes).
+  [[nodiscard]] RowBufferOutcome classify(const Access& access) const;
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const TimingParams& timing() const noexcept { return timing_; }
+
+ private:
+  struct BankState {
+    bool open = false;
+    std::uint32_t open_row = 0;  ///< bank-level row index when open
+    double ready_ns = 0.0;       ///< earliest time the bank accepts a command
+    double act_ns = -1.0e18;     ///< issue time of the last ACT (for tRAS)
+  };
+
+  void reset_state();
+  [[nodiscard]] std::size_t buffer_index(const Address& a) const;
+
+  Geometry geom_;
+  TimingParams timing_;
+  bool salp_ = false;
+  std::vector<BankState> banks_;  ///< one per row buffer (bank, or subarray)
+  double bus_ready_ns_ = 0.0;
+  double last_act_ns_ = -1.0e18;  ///< for tRRD across banks
+};
+
+}  // namespace sparkxd::dram

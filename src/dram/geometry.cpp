@@ -1,0 +1,84 @@
+#include "dram/geometry.hpp"
+
+namespace sparkxd::dram {
+
+void Geometry::validate() const {
+  SPARKXD_REQUIRE(channels && ranks_per_channel && chips_per_rank &&
+                      banks_per_chip && subarrays_per_bank &&
+                      rows_per_subarray && columns_per_row && column_bytes,
+                  "every geometry level must have at least one element");
+  SPARKXD_REQUIRE(burst_columns >= 1 && burst_columns <= columns_per_row,
+                  "burst length must fit in a row");
+  SPARKXD_REQUIRE(columns_per_row % burst_columns == 0,
+                  "rows must hold a whole number of bursts");
+}
+
+void check_address(const Geometry& g, const Address& a) {
+  SPARKXD_REQUIRE(a.channel < g.channels, "channel out of range");
+  SPARKXD_REQUIRE(a.rank < g.ranks_per_channel, "rank out of range");
+  SPARKXD_REQUIRE(a.chip < g.chips_per_rank, "chip out of range");
+  SPARKXD_REQUIRE(a.bank < g.banks_per_chip, "bank out of range");
+  SPARKXD_REQUIRE(a.subarray < g.subarrays_per_bank, "subarray out of range");
+  SPARKXD_REQUIRE(a.row < g.rows_per_subarray, "row out of range");
+  SPARKXD_REQUIRE(a.column < g.columns_per_row, "column out of range");
+}
+
+std::uint64_t subarray_id(const Geometry& g, const Address& a) {
+  check_address(g, a);
+  return bank_id(g, a) * g.subarrays_per_bank + a.subarray;
+}
+
+std::uint64_t bank_id(const Geometry& g, const Address& a) {
+  return ((std::uint64_t{a.channel} * g.ranks_per_channel + a.rank) *
+              g.chips_per_rank +
+          a.chip) *
+             g.banks_per_chip +
+         a.bank;
+}
+
+std::uint32_t bank_row(const Geometry& g, const Address& a) {
+  return a.subarray * g.rows_per_subarray + a.row;
+}
+
+std::uint64_t cell_bit_index(const Geometry& g, const Address& a,
+                             std::uint32_t bit_in_column) {
+  SPARKXD_REQUIRE(bit_in_column < 8 * g.column_bytes,
+                  "bit offset exceeds the column width");
+  // encode_linear is the byte address of the word's first byte; the cell
+  // coordinate is that address in bits plus the offset within the word.
+  return encode_linear(g, a) * 8 + bit_in_column;
+}
+
+std::uint64_t encode_linear(const Geometry& g, const Address& a) {
+  check_address(g, a);
+  std::uint64_t x = a.channel;
+  x = x * g.ranks_per_channel + a.rank;
+  x = x * g.chips_per_rank + a.chip;
+  x = x * g.banks_per_chip + a.bank;
+  x = x * g.subarrays_per_bank + a.subarray;
+  x = x * g.rows_per_subarray + a.row;
+  x = x * g.columns_per_row + a.column;
+  return x * g.column_bytes;
+}
+
+Address decode_linear(const Geometry& g, std::uint64_t byte_addr) {
+  SPARKXD_REQUIRE(byte_addr < g.total_bytes(), "byte address out of range");
+  std::uint64_t x = byte_addr / g.column_bytes;
+  Address a;
+  a.column = static_cast<std::uint32_t>(x % g.columns_per_row);
+  x /= g.columns_per_row;
+  a.row = static_cast<std::uint32_t>(x % g.rows_per_subarray);
+  x /= g.rows_per_subarray;
+  a.subarray = static_cast<std::uint32_t>(x % g.subarrays_per_bank);
+  x /= g.subarrays_per_bank;
+  a.bank = static_cast<std::uint32_t>(x % g.banks_per_chip);
+  x /= g.banks_per_chip;
+  a.chip = static_cast<std::uint32_t>(x % g.chips_per_rank);
+  x /= g.chips_per_rank;
+  a.rank = static_cast<std::uint32_t>(x % g.ranks_per_channel);
+  x /= g.ranks_per_channel;
+  a.channel = static_cast<std::uint32_t>(x);
+  return a;
+}
+
+}  // namespace sparkxd::dram

@@ -1,0 +1,36 @@
+#pragma once
+// DRAM timing parameters (paper Fig. 5b / Fig. 6).
+//
+// tRCD — ACT to RD/WR delay (array must reach the ready-to-access voltage,
+//        75% of V_supply).
+// tRAS — ACT to PRE delay (cells must be restored to the ready-to-precharge
+//        voltage, 98% of V_supply).
+// tRP  — PRE to next ACT delay (bitlines must equalize to within 2% of
+//        V_supply/2).
+//
+// The nominal values below are the LPDDR3-1600 datasheet numbers the paper's
+// SPICE study reproduces at 1.35 V; at reduced voltage the VoltageModel in
+// src/energy re-derives tRCD/tRAS/tRP from the array-voltage waveform.
+
+#include <cstdint>
+
+namespace sparkxd::dram {
+
+/// Timing parameters in nanoseconds.
+struct TimingParams {
+  double t_ck = 1.25;   ///< clock period (LPDDR3-1600: 800 MHz)
+  double t_rcd = 18.0;  ///< ACT -> column command
+  double t_ras = 42.0;  ///< ACT -> PRE
+  double t_rp = 18.0;   ///< PRE -> ACT
+  double t_cl = 15.0;   ///< column command -> first data beat
+  double t_burst = 5.0; ///< BL8 data transfer (4 clocks, DDR)
+  double t_rrd = 10.0;  ///< ACT -> ACT, different banks
+
+  /// ACT -> ACT same bank (row cycle).
+  [[nodiscard]] double t_rc() const noexcept { return t_ras + t_rp; }
+
+  /// Nominal LPDDR3-1600 timings at V_supply = 1.35 V.
+  [[nodiscard]] static TimingParams lpddr3_1600() { return {}; }
+};
+
+}  // namespace sparkxd::dram

@@ -1,0 +1,55 @@
+#pragma once
+// Access traces and their statistics — the interface between workload
+// generation (src/mapping TraceGenerator), the controller simulation, and
+// the energy model ("DRAM access traces & statistics" in the paper's Fig. 10
+// tool flow).
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hpp"
+
+namespace sparkxd::dram {
+
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// One burst access: the address identifies the first column of a BL8 burst.
+struct Access {
+  Address addr;
+  AccessType type = AccessType::kRead;
+};
+
+using AccessTrace = std::vector<Access>;
+
+/// Row-buffer outcome of a single access (paper §I-B / §II-B1).
+enum class RowBufferOutcome : std::uint8_t {
+  kHit,      ///< requested row already in the row buffer
+  kMiss,     ///< bank idle: ACT needed
+  kConflict  ///< another row open: PRE + ACT needed
+};
+
+/// Aggregate statistics produced by the controller for one trace.
+struct TraceStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t activates = 0;   ///< ACT commands issued
+  std::uint64_t precharges = 0;  ///< PRE commands issued
+  std::uint64_t reads = 0;       ///< RD bursts
+  std::uint64_t writes = 0;      ///< WR bursts
+  double total_time_ns = 0.0;    ///< makespan of the trace
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  [[nodiscard]] double bytes_per_ns(std::uint64_t burst_bytes) const noexcept {
+    return total_time_ns > 0.0
+               ? static_cast<double>(accesses * burst_bytes) / total_time_ns
+               : 0.0;
+  }
+};
+
+}  // namespace sparkxd::dram

@@ -1,0 +1,56 @@
+#pragma once
+// SNN-platform energy breakdown model (paper Fig. 1b, adapted from the
+// study in Krithivasan et al. [5]): splits the energy of processing one SNN
+// inference on a neuromorphic platform into computation, communication, and
+// memory accesses.
+//
+// Each platform is a triple of per-event energy coefficients applied to the
+// workload counters of a simulated inference (synaptic operations, routed
+// spikes, bytes moved). Coefficients are calibrated so the three platforms
+// of the paper's figure land in its reported ranges (memory ~50-75% of
+// total): TrueNorth [2] has heavily banked local SRAM (lowest memory share),
+// PEASE [3] streams weights from memory (highest), SNNAP [4] in between.
+
+#include <string>
+#include <vector>
+
+namespace sparkxd::energy {
+
+/// Workload counters of one SNN inference.
+struct SnnWorkload {
+  double synaptic_ops = 0.0;  ///< weight-accumulate events
+  double spikes = 0.0;        ///< routed spike events
+  double memory_bytes = 0.0;  ///< weight/state traffic
+};
+
+/// Per-event energy coefficients of a platform (picojoules).
+struct PlatformCoefficients {
+  std::string name;
+  double pj_per_synop = 0.0;
+  double pj_per_spike = 0.0;
+  double pj_per_byte = 0.0;
+};
+
+/// Fractional energy breakdown (sums to 1 for a non-empty workload).
+struct EnergyShares {
+  double computation = 0.0;
+  double communication = 0.0;
+  double memory = 0.0;
+};
+
+/// The three platforms of Fig. 1b with calibrated coefficients.
+[[nodiscard]] std::vector<PlatformCoefficients> fig1b_platforms();
+
+/// Computes the breakdown of `workload` on `platform`.
+[[nodiscard]] EnergyShares breakdown(const PlatformCoefficients& platform,
+                                     const SnnWorkload& workload);
+
+/// Derives the workload counters of one inference of a fully-connected SNN
+/// with the given shape. `spike_rate` is the average fraction of inputs
+/// spiking per timestep.
+[[nodiscard]] SnnWorkload snn_inference_workload(std::size_t n_inputs,
+                                                 std::size_t n_neurons,
+                                                 std::size_t timesteps,
+                                                 double spike_rate);
+
+}  // namespace sparkxd::energy

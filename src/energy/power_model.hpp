@@ -1,0 +1,86 @@
+#pragma once
+// Command-level DRAM energy model — the stand-in for DRAMPower [8]
+// (paper Figs. 2b, 12a and Table I).
+//
+// Energy is split into:
+//  * per-command dynamic charges (ACT, PRE, RD, WR array energy) that scale
+//    with (V_supply / V_nom)^2 — array charging is C·V^2 work;
+//  * a per-burst I/O term on the separate (fixed) output-driver rail, which
+//    does NOT scale with the array supply — this is why a row-buffer *hit*
+//    saves less (~31%) from voltage scaling than a conflict (~38-42%),
+//    reproducing the 31%-42% per-access range of §I-B;
+//  * background power over the simulated trace makespan, scaling linearly
+//    with voltage (roughly constant standby current).
+//
+// Absolute per-command charges are calibrated so the nominal 1.35 V
+// hit/miss/conflict access energies land in the 2-8 nJ range of Fig. 2b.
+
+#include "dram/timing.hpp"
+#include "dram/trace.hpp"
+
+namespace sparkxd::energy {
+
+/// Energy split of a simulated trace, in nanojoules.
+struct EnergyBreakdown {
+  double act_nj = 0.0;
+  double pre_nj = 0.0;
+  double read_nj = 0.0;   ///< array+peripheral dynamic energy of RD bursts
+  double write_nj = 0.0;  ///< array+peripheral dynamic energy of WR bursts
+  double io_nj = 0.0;     ///< output-driver energy (voltage-independent)
+  double background_nj = 0.0;
+  double refresh_nj = 0.0;  ///< periodic REF commands over the makespan
+
+  [[nodiscard]] double total_nj() const noexcept {
+    return act_nj + pre_nj + read_nj + write_nj + io_nj + background_nj +
+           refresh_nj;
+  }
+};
+
+class PowerModel {
+ public:
+  /// Per-command charges at V_nom = 1.35 V, in nJ; background in mW.
+  struct Params {
+    double e_act_nj = 3.2;
+    double e_pre_nj = 2.1;
+    double e_rd_nj = 1.5;
+    double e_wr_nj = 1.6;
+    double e_io_nj = 0.10;        ///< per burst, fixed rail
+    double p_background_mw = 3.0;
+    /// Refresh: one all-bank REF every tREFI; its charge is array work and
+    /// scales with V^2 like the other dynamic components.
+    double e_refresh_nj = 28.0;
+    double t_refi_ns = 7800.0;
+  };
+
+  PowerModel() : PowerModel(Params{}) {}
+  explicit PowerModel(const Params& p) : p_(p) {}
+
+  /// (V / V_nom)^2 — scaling of array dynamic energy.
+  [[nodiscard]] static double dynamic_scale(double v_supply);
+  /// V / V_nom — scaling of background power.
+  [[nodiscard]] static double background_scale(double v_supply);
+
+  /// Energy of a whole simulated trace at the given supply voltage.
+  [[nodiscard]] EnergyBreakdown trace_energy(const dram::TraceStats& stats,
+                                             double v_supply) const;
+
+  /// Energy of ONE access of the given row-buffer condition (Fig. 2b):
+  /// command dynamic energy + I/O + background over the access latency
+  /// implied by `timing` (pass voltage-derived timings for reduced-voltage
+  /// points).
+  [[nodiscard]] double access_energy_nj(dram::RowBufferOutcome outcome,
+                                        double v_supply,
+                                        const dram::TimingParams& timing) const;
+
+  /// Pure array dynamic energy per fully-charged access (ACT+RD+PRE),
+  /// excluding the fixed I/O rail — the "DRAM energy-per-access" quantity
+  /// whose savings Table I reports.
+  [[nodiscard]] double array_energy_per_access_nj(double v_supply) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return p_; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace sparkxd::energy

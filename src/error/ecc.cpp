@@ -1,0 +1,133 @@
+#include "error/ecc.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::error {
+
+namespace {
+
+// Hamming(71,64) + overall parity = SECDED(72,64).
+//
+// Codeword positions are numbered 1..71; positions that are powers of two
+// (1,2,4,8,16,32,64) carry the 7 Hamming parity bits; the remaining 64
+// positions carry data bits in ascending order. The 8th check bit is the
+// overall parity of all 71 positions (data + Hamming bits).
+
+/// data_position[i] = codeword position (1..71) of data bit i.
+constexpr std::array<std::uint8_t, 64> make_data_positions() {
+  std::array<std::uint8_t, 64> map{};
+  std::size_t i = 0;
+  for (std::uint8_t pos = 1; pos <= 71 && i < 64; ++pos) {
+    if ((pos & (pos - 1)) == 0) continue;  // parity position
+    map[i++] = pos;
+  }
+  return map;
+}
+
+constexpr auto kDataPos = make_data_positions();
+
+/// position_to_data[pos] = data bit index + 1, or 0 if a parity position.
+constexpr std::array<std::uint8_t, 72> make_position_map() {
+  std::array<std::uint8_t, 72> map{};
+  for (std::size_t i = 0; i < kDataPos.size(); ++i)
+    map[kDataPos[i]] = static_cast<std::uint8_t>(i + 1);
+  return map;
+}
+
+constexpr auto kPosToData = make_position_map();
+
+/// The 7 Hamming parity bits of a data word (bit k of the result is the
+/// parity over codeword positions with bit k set, counting data bits only —
+/// parity positions contribute their own value, which is defined to make
+/// each group's total parity even).
+std::uint8_t hamming_bits(std::uint64_t data) {
+  std::uint8_t parity = 0;
+  for (unsigned k = 0; k < 7; ++k) {
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < 64; ++i)
+      if (kDataPos[i] & (1u << k)) acc ^= (data >> i) & 1u;
+    parity |= static_cast<std::uint8_t>(acc << k);
+  }
+  return parity;
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(std::uint64_t data) {
+  const std::uint8_t h = hamming_bits(data);
+  // Overall parity across data bits and the 7 Hamming bits.
+  const unsigned overall =
+      (std::popcount(data) + std::popcount(static_cast<unsigned>(h))) & 1u;
+  return static_cast<std::uint8_t>(h | (overall << 7));
+}
+
+SecdedStatus secded_decode(std::uint64_t& data, std::uint8_t check) {
+  // Syndrome: recomputed Hamming bits vs the *stored* ones — for a single
+  // flipped data bit this equals that bit's codeword position; for a single
+  // flipped Hamming bit it equals that (power-of-two) position.
+  const auto stored_h = static_cast<std::uint8_t>(check & 0x7F);
+  const std::uint8_t syndrome = hamming_bits(data) ^ stored_h;
+  // Overall parity of the received 72-bit codeword (data + stored Hamming
+  // bits + stored overall bit); 1 for any odd number of flipped bits.
+  const unsigned overall =
+      (std::popcount(data) + std::popcount(static_cast<unsigned>(stored_h)) +
+       ((check >> 7) & 1u)) &
+      1u;
+
+  if (syndrome == 0 && overall == 0) return SecdedStatus::kClean;
+  if (overall == 0) {
+    // Even number of flipped bits with a non-zero syndrome: double error.
+    return SecdedStatus::kUncorrectable;
+  }
+  // Odd number of errors: assume single. If the syndrome names a data
+  // position, flip that data bit back; otherwise the error was in the
+  // check byte itself (Hamming or overall bit) and the data is fine.
+  if (syndrome != 0 && syndrome < 72 && kPosToData[syndrome] != 0) {
+    const unsigned data_bit = kPosToData[syndrome] - 1u;
+    data ^= (std::uint64_t{1} << data_bit);
+  }
+  return SecdedStatus::kCorrected;
+}
+
+std::vector<std::uint8_t> ecc_encode_weights(
+    const std::vector<float>& weights) {
+  SPARKXD_REQUIRE(weights.size() % 2 == 0,
+                  "SECDED protects 64-bit words: need an even weight count");
+  std::vector<std::uint8_t> checks(weights.size() / 2);
+  for (std::size_t w = 0; w < checks.size(); ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, weights.data() + 2 * w, sizeof(word));
+    checks[w] = secded_encode(word);
+  }
+  return checks;
+}
+
+ScrubStats ecc_scrub_weights(std::vector<float>& weights,
+                             const std::vector<std::uint8_t>& checks) {
+  SPARKXD_REQUIRE(weights.size() == checks.size() * 2,
+                  "check-byte count must match the weight buffer");
+  ScrubStats stats;
+  stats.words = checks.size();
+  for (std::size_t w = 0; w < checks.size(); ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, weights.data() + 2 * w, sizeof(word));
+    switch (secded_decode(word, checks[w])) {
+      case SecdedStatus::kClean:
+        break;
+      case SecdedStatus::kCorrected:
+        ++stats.corrected;
+        std::memcpy(weights.data() + 2 * w, &word, sizeof(word));
+        break;
+      case SecdedStatus::kUncorrectable:
+        ++stats.uncorrectable;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sparkxd::error

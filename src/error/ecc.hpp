@@ -1,0 +1,54 @@
+#pragma once
+// SECDED ECC — the conventional alternative to SparkXD's approach.
+//
+// Instead of teaching the network to tolerate errors and mapping around weak
+// subarrays, a deployment can protect the stored weights with a
+// single-error-correct / double-error-detect Hamming(72,64) code, at the
+// cost of 12.5% extra storage and the energy to fetch and check it.
+// bench/ablation_ecc quantifies the trade-off against SparkXD at each BER.
+//
+// Layout: one 8-bit check byte per 64-bit data word (7 Hamming parity bits
+// + 1 overall parity bit).
+
+#include <cstdint>
+#include <vector>
+
+namespace sparkxd::error {
+
+/// Outcome of decoding one protected word.
+enum class SecdedStatus : std::uint8_t {
+  kClean,          ///< no error
+  kCorrected,      ///< single-bit error corrected
+  kUncorrectable,  ///< double-bit error detected (data unreliable)
+};
+
+/// Computes the 8 check bits for a 64-bit data word.
+[[nodiscard]] std::uint8_t secded_encode(std::uint64_t data);
+
+/// Checks (and, for single-bit errors, corrects in place) a data word
+/// against its check byte. Errors in the check byte itself are handled.
+[[nodiscard]] SecdedStatus secded_decode(std::uint64_t& data,
+                                         std::uint8_t check);
+
+/// Aggregate results of scrubbing a whole buffer.
+struct ScrubStats {
+  std::size_t words = 0;
+  std::size_t corrected = 0;
+  std::size_t uncorrectable = 0;
+};
+
+/// Encodes an FP32 weight buffer: one check byte per 2 weights (64 bits).
+/// Requires an even number of weights (pad the model if necessary).
+[[nodiscard]] std::vector<std::uint8_t> ecc_encode_weights(
+    const std::vector<float>& weights);
+
+/// Decodes/corrects a (possibly corrupted) weight buffer in place against
+/// check bytes computed from the clean weights. Uncorrectable words are
+/// left as-is (detected but unrecoverable without a higher-level retry).
+ScrubStats ecc_scrub_weights(std::vector<float>& weights,
+                             const std::vector<std::uint8_t>& checks);
+
+/// Storage overhead of the code (check bytes / data bytes) = 1/8.
+inline constexpr double kEccStorageOverhead = 0.125;
+
+}  // namespace sparkxd::error

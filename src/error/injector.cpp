@@ -1,0 +1,230 @@
+#include "error/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace sparkxd::error {
+
+const char* to_string(ErrorModelKind k) noexcept {
+  switch (k) {
+    case ErrorModelKind::kModel0Uniform:
+      return "Model-0 (uniform)";
+    case ErrorModelKind::kModel1Bitline:
+      return "Model-1 (bitline)";
+    case ErrorModelKind::kModel2Wordline:
+      return "Model-2 (wordline)";
+    case ErrorModelKind::kModel3DataDependent:
+      return "Model-3 (data-dependent)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Uniform [0,1) double from a cell coordinate, deterministic per seed.
+double cell_score(std::uint64_t seed, std::uint64_t cell) noexcept {
+  std::uint64_t s = sparkxd::hash_combine(seed, cell);
+  return static_cast<double>(sparkxd::splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic mean-1 lognormal multiplier for a stripe (bitline or
+/// wordline) identified by `id`.
+double stripe_multiplier(std::uint64_t seed, std::uint64_t id, double sigma) {
+  Rng rng(sparkxd::hash_combine(seed, id));
+  return rng.lognormal(-0.5 * sigma * sigma, sigma);
+}
+
+}  // namespace
+
+ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
+                             const SubarrayProfile& profile,
+                             const ErrorModelSpec& spec,
+                             ChunkPlacement placement,
+                             std::size_t n_payload_bytes, std::uint64_t seed,
+                             double max_ber)
+    : max_ber_(max_ber), n_payload_bytes_(n_payload_bytes), spec_(spec) {
+  SPARKXD_REQUIRE(max_ber >= 0.0 && max_ber <= 0.5,
+                  "max BER outside the modelled range");
+  const std::size_t chunk_bytes = geometry.burst_bytes();
+  SPARKXD_REQUIRE(placement.size() * chunk_bytes >= n_payload_bytes,
+                  "placement does not cover the payload");
+  SPARKXD_REQUIRE(spec.p0 >= 0.0 && spec.p0 <= 1.0 && spec.p1 >= 0.0 &&
+                      spec.p1 <= 1.0,
+                  "Model-3 flip probabilities must be probabilities");
+  if (max_ber == 0.0 || n_payload_bytes == 0) return;
+
+  // Lazily-built stripe multiplier caches (Model-1 / Model-2 only).
+  const std::uint64_t bitline_count =
+      std::uint64_t{geometry.columns_per_row} * geometry.column_bytes * 8;
+  std::vector<double> bitline_mult;   // [bank_id * bitlines + bitline]
+  std::vector<double> wordline_mult;  // [bank_id * rows + bank_row]
+  const std::uint64_t n_banks = std::uint64_t{geometry.channels} *
+                                geometry.ranks_per_channel *
+                                geometry.chips_per_rank *
+                                geometry.banks_per_chip;
+  if (spec.kind == ErrorModelKind::kModel1Bitline) {
+    bitline_mult.resize(n_banks * bitline_count);
+    for (std::uint64_t i = 0; i < bitline_mult.size(); ++i)
+      bitline_mult[i] =
+          stripe_multiplier(hash_combine(seed, 0xB17ULL), i, spec.stripe_sigma);
+  } else if (spec.kind == ErrorModelKind::kModel2Wordline) {
+    wordline_mult.resize(n_banks * geometry.rows_per_bank());
+    for (std::uint64_t i = 0; i < wordline_mult.size(); ++i)
+      wordline_mult[i] = stripe_multiplier(hash_combine(seed, 0x30BDULL), i,
+                                           spec.stripe_sigma);
+  }
+
+  const std::uint64_t cell_seed = hash_combine(seed, 0xCE11ULL);
+  const double threshold = 2.0 * max_ber;
+  const std::uint32_t column_bits = geometry.column_bytes * 8;
+
+  for (std::size_t c = 0; c < placement.size(); ++c) {
+    const std::size_t first_byte = c * chunk_bytes;
+    if (first_byte >= n_payload_bytes) break;
+    const std::size_t last_byte =
+        std::min(first_byte + chunk_bytes, n_payload_bytes);
+    dram::Address addr = placement[c];
+    const std::uint64_t sub_id = subarray_id(geometry, addr);
+    const double sub_weak = profile.weakness(sub_id);
+    const std::uint64_t bank = bank_id(geometry, addr);
+    const std::uint32_t brow = bank_row(geometry, addr);
+
+    for (std::size_t b = first_byte; b < last_byte; ++b) {
+      const auto offset = static_cast<std::uint32_t>(b - first_byte);
+      addr.column = placement[c].column + offset / geometry.column_bytes;
+      const std::uint32_t byte_in_column =
+          (offset % geometry.column_bytes) * 8;
+      for (std::uint32_t bit = 0; bit < 8; ++bit) {
+        const std::uint32_t bit_in_column = byte_in_column + bit;
+        // Per-cell weakness multiplier under the active model.
+        double m = sub_weak;
+        switch (spec.kind) {
+          case ErrorModelKind::kModel0Uniform:
+          case ErrorModelKind::kModel3DataDependent:
+            break;  // uniform within the subarray
+          case ErrorModelKind::kModel1Bitline:
+            m *= bitline_mult[bank * bitline_count +
+                              std::uint64_t{addr.column} * column_bits +
+                              bit_in_column];
+            break;
+          case ErrorModelKind::kModel2Wordline:
+            m *= wordline_mult[bank * geometry.rows_per_bank() + brow];
+            break;
+        }
+        if (m <= 0.0) continue;
+        const std::uint64_t cell =
+            cell_bit_index(geometry, addr, bit_in_column);
+        const double score = cell_score(cell_seed, cell) / m;
+        if (score < threshold)
+          candidates_.push_back({static_cast<std::uint32_t>(b),
+                                 static_cast<std::uint8_t>(bit), score});
+      }
+    }
+  }
+  // Sort by score so injection at lower BERs touches a stable prefix.
+  std::sort(candidates_.begin(), candidates_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score < b.score;
+            });
+}
+
+ErrorInjector ErrorInjector::for_weights(const dram::Geometry& geometry,
+                                         const SubarrayProfile& profile,
+                                         const ErrorModelSpec& spec,
+                                         ChunkPlacement placement,
+                                         std::size_t n_weights,
+                                         std::uint64_t seed, double max_ber) {
+  return ErrorInjector(geometry, profile, spec, std::move(placement),
+                       n_weights * sizeof(float), seed, max_ber);
+}
+
+void ErrorInjector::sanitize_weight(float& w,
+                                    const SanitizeRange& r) noexcept {
+  if (std::isnan(w)) {
+    w = r.lo;
+    return;
+  }
+  w = std::clamp(w, r.lo, r.hi);
+}
+
+template <typename FlipDecision>
+std::size_t ErrorInjector::inject_floats(std::vector<float>& weights,
+                                         double ber,
+                                         const SanitizeRange& sanitize,
+                                         FlipDecision&& decide) const {
+  SPARKXD_REQUIRE(ber <= max_ber_ + 1e-15,
+                  "injection BER exceeds the enumerated maximum");
+  SPARKXD_REQUIRE(weights.size() * sizeof(float) >= n_payload_bytes_,
+                  "weight array smaller than the mapped payload");
+  const double threshold = 2.0 * ber;
+  std::size_t flips = 0;
+  for (const auto& c : candidates_) {
+    if (c.score >= threshold) break;  // sorted: all further are not weak
+    const std::size_t w_idx = c.byte_index / sizeof(float);
+    // Little-endian byte order: byte k of the float holds u32 bits 8k..8k+7.
+    const unsigned bit32 =
+        (c.byte_index % sizeof(float)) * 8 + c.bit;
+    float& w = weights[w_idx];
+    if (!decide(test_bit(float_to_bits(w), bit32))) continue;
+    w = flip_float_bit(w, bit32);
+    sanitize_weight(w, sanitize);
+    ++flips;
+  }
+  return flips;
+}
+
+std::size_t ErrorInjector::inject(std::vector<float>& weights, double ber,
+                                  Rng& rng,
+                                  const SanitizeRange& sanitize) const {
+  return inject_floats(weights, ber, sanitize, [&](bool bit_value) {
+    double p = kWeakCellFailProb;
+    if (spec_.kind == ErrorModelKind::kModel3DataDependent)
+      p = bit_value ? spec_.p1 : spec_.p0;
+    return rng.bernoulli(p);
+  });
+}
+
+std::size_t ErrorInjector::inject_all_weak(
+    std::vector<float>& weights, double ber,
+    const SanitizeRange& sanitize) const {
+  return inject_floats(weights, ber, sanitize, [](bool) { return true; });
+}
+
+std::size_t ErrorInjector::inject_bytes(std::uint8_t* data,
+                                        std::size_t n_bytes, double ber,
+                                        Rng& rng) const {
+  SPARKXD_REQUIRE(ber <= max_ber_ + 1e-15,
+                  "injection BER exceeds the enumerated maximum");
+  SPARKXD_REQUIRE(n_bytes >= n_payload_bytes_,
+                  "byte array smaller than the mapped payload");
+  const double threshold = 2.0 * ber;
+  std::size_t flips = 0;
+  for (const auto& c : candidates_) {
+    if (c.score >= threshold) break;
+    std::uint8_t& byte = data[c.byte_index];
+    double p = kWeakCellFailProb;
+    if (spec_.kind == ErrorModelKind::kModel3DataDependent)
+      p = ((byte >> c.bit) & 1u) ? spec_.p1 : spec_.p0;
+    if (!rng.bernoulli(p)) continue;
+    byte = static_cast<std::uint8_t>(byte ^ (1u << c.bit));
+    ++flips;
+  }
+  return flips;
+}
+
+double ErrorInjector::expected_flips(double ber) const {
+  const double threshold = 2.0 * ber;
+  double e = 0.0;
+  for (const auto& c : candidates_) {
+    if (c.score >= threshold) break;
+    e += spec_.kind == ErrorModelKind::kModel3DataDependent
+             ? 0.5 * (spec_.p0 + spec_.p1)
+             : kWeakCellFailProb;
+  }
+  return e;
+}
+
+}  // namespace sparkxd::error

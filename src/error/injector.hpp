@@ -1,0 +1,119 @@
+#pragma once
+// Bit-error generation and injection into DRAM-resident data
+// (paper §IV-B Steps 1-2 and §V "Error Generation and Injection").
+//
+// Given a *placement* (the DRAM column of every 32 B burst chunk, as
+// produced by a mapping policy) the injector decides which stored bits are
+// "weak cells" and flips them probabilistically on every injection.
+//
+// Weak cells are deterministic per (seed, physical cell): each cell has a
+// fixed weakness score in [0, 1) derived by hashing its physical coordinate;
+// the cell is weak at BER b when  score < 2 * b * m(cell), where m is the
+// subarray / bitline / wordline weakness multiplier of the active error
+// model and the factor 2 accounts for the weak-cell failure probability 0.5.
+// Two properties follow, both physically motivated and both load-bearing:
+//   * weak sets are NESTED across BER (a cell failing at 1e-5 still fails
+//     at 1e-3) — exactly how reduced-voltage failures behave; and
+//   * the SAME cells fail across training epochs, which is what lets
+//     fault-aware training learn around them.
+//
+// The injector is representation-agnostic: weak cells are enumerated at
+// byte granularity, so the same machinery corrupts FP32 weights
+// (inject / inject_all_weak) and quantized int8 weights or any other byte
+// payload (inject_bytes). For performance, candidates are pre-enumerated
+// once per placement up to a maximum BER; injecting at any lower BER is a
+// linear pass over that (small) candidate list.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/geometry.hpp"
+#include "error/error_model.hpp"
+#include "error/subarray_profile.hpp"
+
+namespace sparkxd::error {
+
+/// DRAM addresses of the first column of each burst chunk; chunk c stores
+/// the payload bytes [c*burst_bytes, (c+1)*burst_bytes).
+using ChunkPlacement = std::vector<dram::Address>;
+
+/// Weight-range sanitization applied after FP32 injection: corrupted values
+/// are clamped into [lo, hi] and NaNs become lo. This is the load-time
+/// range clipping EDEN-style deployments apply (see
+/// core::kDefaultWeightClip); it keeps single-bit exponent flips meaningful
+/// (large deviation) without propagating Inf/NaN.
+struct SanitizeRange {
+  float lo = 0.0f;
+  float hi = 1.0f;
+};
+
+class ErrorInjector {
+ public:
+  /// Enumerates weak-cell candidates for `n_payload_bytes` bytes laid out
+  /// through `placement`, at BERs up to `max_ber`. The last chunk may be
+  /// partially used.
+  ErrorInjector(const dram::Geometry& geometry,
+                const SubarrayProfile& profile, const ErrorModelSpec& spec,
+                ChunkPlacement placement, std::size_t n_payload_bytes,
+                std::uint64_t seed, double max_ber);
+
+  /// Convenience: payload = n_weights FP32 values.
+  static ErrorInjector for_weights(const dram::Geometry& geometry,
+                                   const SubarrayProfile& profile,
+                                   const ErrorModelSpec& spec,
+                                   ChunkPlacement placement,
+                                   std::size_t n_weights, std::uint64_t seed,
+                                   double max_ber);
+
+  /// Flips weak bits of FP32 `weights` for one "read" at module BER `ber`
+  /// (<= max_ber). Each weak cell fails independently with probability 0.5
+  /// (Model-3: p1/p0 by stored value). Returns the number of flipped bits.
+  std::size_t inject(std::vector<float>& weights, double ber, Rng& rng,
+                     const SanitizeRange& sanitize = {}) const;
+
+  /// Deterministic FP32 variant: flips *every* weak cell at `ber` (used by
+  /// tests to reason about worst-case corruption).
+  std::size_t inject_all_weak(std::vector<float>& weights, double ber,
+                              const SanitizeRange& sanitize = {}) const;
+
+  /// Raw-byte injection (e.g. quantized int8 weights): flips weak bits of
+  /// `data[0..n_bytes)`. No sanitization — every byte pattern is a valid
+  /// quantized value, which is precisely int8's robustness advantage.
+  std::size_t inject_bytes(std::uint8_t* data, std::size_t n_bytes,
+                           double ber, Rng& rng) const;
+
+  /// Number of weak-cell candidates enumerated (at max_ber).
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return candidates_.size();
+  }
+
+  /// Expected number of bit flips per injection at `ber`.
+  [[nodiscard]] double expected_flips(double ber) const;
+
+  [[nodiscard]] double max_ber() const noexcept { return max_ber_; }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return n_payload_bytes_;
+  }
+
+ private:
+  struct Candidate {
+    std::uint32_t byte_index;  ///< payload byte holding the weak cell
+    std::uint8_t bit;          ///< 0 (LSB) .. 7 within the byte
+    double score;              ///< weak at BER b iff score < 2*b
+  };
+
+  static void sanitize_weight(float& w, const SanitizeRange& r) noexcept;
+  /// Shared core of the FP32 paths.
+  template <typename FlipDecision>
+  std::size_t inject_floats(std::vector<float>& weights, double ber,
+                            const SanitizeRange& sanitize,
+                            FlipDecision&& decide) const;
+
+  std::vector<Candidate> candidates_;  ///< sorted ascending by score
+  double max_ber_;
+  std::size_t n_payload_bytes_;
+  ErrorModelSpec spec_;
+};
+
+}  // namespace sparkxd::error

@@ -1,0 +1,43 @@
+#include "error/subarray_profile.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::error {
+
+SubarrayProfile::SubarrayProfile(const dram::Geometry& geometry,
+                                 std::uint64_t seed, double sigma)
+    : seed_(seed) {
+  SPARKXD_REQUIRE(sigma >= 0.0, "lognormal sigma must be non-negative");
+  const auto n = geometry.total_subarrays();
+  weakness_.resize(n);
+  // lognormal(mu = -sigma^2/2, sigma) has mean exactly 1.
+  const double mu = -0.5 * sigma * sigma;
+  Rng rng(hash_combine(seed, 0x5BA77A7ULL));
+  for (std::uint64_t i = 0; i < n; ++i)
+    weakness_[i] = rng.lognormal(mu, sigma);
+}
+
+double SubarrayProfile::weakness(std::uint64_t subarray_id) const {
+  SPARKXD_REQUIRE(subarray_id < weakness_.size(), "subarray id out of range");
+  return weakness_[subarray_id];
+}
+
+double SubarrayProfile::rate(std::uint64_t subarray_id,
+                             double module_ber) const {
+  SPARKXD_REQUIRE(module_ber >= 0.0 && module_ber <= 1.0,
+                  "module BER must be a probability");
+  const double r = module_ber * weakness(subarray_id);
+  return r > 0.5 ? 0.5 : r;
+}
+
+std::size_t SubarrayProfile::count_safe(double module_ber,
+                                        double ber_threshold) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < weakness_.size(); ++i)
+    if (rate(i, module_ber) <= ber_threshold) ++n;
+  return n;
+}
+
+}  // namespace sparkxd::error

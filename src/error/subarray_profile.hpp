@@ -1,0 +1,52 @@
+#pragma once
+// Per-subarray error-rate variation.
+//
+// Real reduced-voltage DRAM error rates vary strongly across the die (Chang
+// et al. [10]; EDEN [15] exploits the same structure): some subarrays are
+// nearly error-free at a voltage where others fail badly. SparkXD's
+// Algorithm 2 needs exactly this structure — it maps weights only into
+// subarrays whose error rate is <= BER_th.
+//
+// We model each subarray's rate as  rate = module_ber * weakness, with a
+// per-subarray lognormal weakness multiplier (mean 1) that is fixed per
+// (geometry, seed) — i.e. a die has a fixed weakness fingerprint, and
+// lowering the voltage scales every subarray's rate up together.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/geometry.hpp"
+
+namespace sparkxd::error {
+
+class SubarrayProfile {
+ public:
+  /// sigma is the lognormal spread of the weakness multipliers; the
+  /// distribution is mean-normalized so the module-average rate equals the
+  /// module BER.
+  SubarrayProfile(const dram::Geometry& geometry, std::uint64_t seed,
+                  double sigma = 0.8);
+
+  /// Weakness multiplier of a subarray (>= 0, mean ~1 across the module).
+  [[nodiscard]] double weakness(std::uint64_t subarray_id) const;
+
+  /// Error rate of a subarray when the module-level BER is `module_ber`
+  /// (clamped to 0.5 — beyond that a cell is noise).
+  [[nodiscard]] double rate(std::uint64_t subarray_id,
+                            double module_ber) const;
+
+  /// Number of subarrays whose rate at `module_ber` is <= `ber_threshold`
+  /// ("safe" subarrays available to Algorithm 2).
+  [[nodiscard]] std::size_t count_safe(double module_ber,
+                                       double ber_threshold) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return weakness_.size(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<double> weakness_;
+};
+
+}  // namespace sparkxd::error

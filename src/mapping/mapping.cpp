@@ -1,0 +1,116 @@
+#include "mapping/mapping.hpp"
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::mapping {
+
+std::size_t weights_per_chunk(const dram::Geometry& g) {
+  SPARKXD_REQUIRE(g.burst_bytes() % sizeof(float) == 0,
+                  "burst size must hold whole FP32 weights");
+  return g.burst_bytes() / sizeof(float);
+}
+
+std::size_t chunks_for_weights(const dram::Geometry& g,
+                               std::size_t n_weights) {
+  const std::size_t wpc = weights_per_chunk(g);
+  return (n_weights + wpc - 1) / wpc;
+}
+
+error::ChunkPlacement baseline_placement(const dram::Geometry& g,
+                                         std::size_t n_weights) {
+  g.validate();
+  const std::size_t needed = chunks_for_weights(g, n_weights);
+  const std::size_t bursts_per_row = g.columns_per_row / g.burst_columns;
+  error::ChunkPlacement out;
+  out.reserve(needed);
+
+  // Subsequent addresses within a bank: columns, then rows (subarray-major),
+  // then the next bank, chip, rank, channel.
+  for (std::uint32_t ch = 0; ch < g.channels && out.size() < needed; ++ch)
+    for (std::uint32_t ra = 0; ra < g.ranks_per_channel && out.size() < needed;
+         ++ra)
+      for (std::uint32_t cp = 0; cp < g.chips_per_rank && out.size() < needed;
+           ++cp)
+        for (std::uint32_t ba = 0;
+             ba < g.banks_per_chip && out.size() < needed; ++ba)
+          for (std::uint32_t su = 0;
+               su < g.subarrays_per_bank && out.size() < needed; ++su)
+            for (std::uint32_t ro = 0;
+                 ro < g.rows_per_subarray && out.size() < needed; ++ro)
+              for (std::size_t b = 0;
+                   b < bursts_per_row && out.size() < needed; ++b)
+                out.push_back(dram::Address{
+                    ch, ra, cp, ba, su, ro,
+                    static_cast<std::uint32_t>(b * g.burst_columns)});
+
+  SPARKXD_REQUIRE(out.size() == needed,
+                  "DRAM module too small for the weight data");
+  return out;
+}
+
+SparkXdPlacement sparkxd_placement(const dram::Geometry& g,
+                                   const error::SubarrayProfile& profile,
+                                   double module_ber, double ber_threshold,
+                                   std::size_t n_weights) {
+  g.validate();
+  SPARKXD_REQUIRE(ber_threshold >= 0.0, "BER_th must be non-negative");
+  const std::size_t needed = chunks_for_weights(g, n_weights);
+  const std::size_t bursts_per_row = g.columns_per_row / g.burst_columns;
+
+  SparkXdPlacement result;
+  result.chunks.reserve(needed);
+
+  // Count safe/unsafe once for diagnostics.
+  for (std::uint64_t s = 0; s < profile.size(); ++s)
+    (profile.rate(s, module_ber) <= ber_threshold ? result.safe_subarrays
+                                                  : result.unsafe_subarrays)++;
+
+  // Algorithm 2's loop nest: ch -> ra -> cp -> ro -> su -> ba -> safe? -> co.
+  // For a fixed row offset, all columns of that row are filled (row-buffer
+  // hits, Step-1) and the walk rotates across banks (multi-bank overlap,
+  // Step-2) before moving to the next subarray and only then the next row.
+  auto& out = result.chunks;
+  for (std::uint32_t ch = 0; ch < g.channels && out.size() < needed; ++ch)
+    for (std::uint32_t ra = 0; ra < g.ranks_per_channel && out.size() < needed;
+         ++ra)
+      for (std::uint32_t cp = 0; cp < g.chips_per_rank && out.size() < needed;
+           ++cp)
+        for (std::uint32_t ro = 0;
+             ro < g.rows_per_subarray && out.size() < needed; ++ro)
+          for (std::uint32_t su = 0;
+               su < g.subarrays_per_bank && out.size() < needed; ++su)
+            for (std::uint32_t ba = 0;
+                 ba < g.banks_per_chip && out.size() < needed; ++ba) {
+              const dram::Address probe{ch, ra, cp, ba, su, ro, 0};
+              const auto sid = dram::subarray_id(g, probe);
+              if (profile.rate(sid, module_ber) > ber_threshold)
+                continue;  // unsafe subarray: do not store weights here
+              for (std::size_t b = 0; b < bursts_per_row && out.size() < needed;
+                   ++b)
+                out.push_back(dram::Address{
+                    ch, ra, cp, ba, su, ro,
+                    static_cast<std::uint32_t>(b * g.burst_columns)});
+            }
+
+  SPARKXD_REQUIRE(out.size() == needed,
+                  "safe subarrays cannot hold the weight data at this BER_th");
+  return result;
+}
+
+dram::AccessTrace streaming_read_trace(const dram::Geometry& g,
+                                       const error::ChunkPlacement& placement,
+                                       std::size_t n_weights,
+                                       std::size_t passes) {
+  const std::size_t used = chunks_for_weights(g, n_weights);
+  SPARKXD_REQUIRE(used <= placement.size(),
+                  "placement does not cover the weight data");
+  SPARKXD_REQUIRE(passes >= 1, "need at least one pass");
+  dram::AccessTrace trace;
+  trace.reserve(used * passes);
+  for (std::size_t p = 0; p < passes; ++p)
+    for (std::size_t c = 0; c < used; ++c)
+      trace.push_back({placement[c], dram::AccessType::kRead});
+  return trace;
+}
+
+}  // namespace sparkxd::mapping

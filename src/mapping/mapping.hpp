@@ -1,0 +1,60 @@
+#pragma once
+// DRAM data-mapping policies for synaptic weights.
+//
+// A *placement* assigns every 8-weight (32 B) burst chunk a DRAM address
+// (the burst's first column). Two policies are implemented:
+//
+//  * baseline_placement — the paper's baseline (§IV-B Step-2): weights fill
+//    subsequent addresses of a DRAM bank (all columns of a row, then the
+//    next row of the same bank); when a bank is full, the next bank of the
+//    same chip is used. Good row locality, no bank interleaving, no
+//    awareness of per-subarray error rates.
+//
+//  * sparkxd_placement — Algorithm 2: weights are placed only in *safe*
+//    subarrays (error rate <= BER_th at the operating BER), filling all
+//    columns of one row to maximize row-buffer hits and rotating across
+//    banks at row granularity so ACT/PRE of the next bank overlaps with the
+//    current bank's bursts (the multi-bank burst feature, Fig. 9b).
+
+#include <cstddef>
+
+#include "dram/geometry.hpp"
+#include "dram/trace.hpp"
+#include "error/injector.hpp"
+#include "error/subarray_profile.hpp"
+
+namespace sparkxd::mapping {
+
+/// Weights per burst chunk (8 for 32 B bursts of FP32 weights).
+[[nodiscard]] std::size_t weights_per_chunk(const dram::Geometry& g);
+
+/// Number of burst chunks needed to store n_weights.
+[[nodiscard]] std::size_t chunks_for_weights(const dram::Geometry& g,
+                                             std::size_t n_weights);
+
+/// The paper's baseline mapping. Throws if the module cannot hold the data.
+[[nodiscard]] error::ChunkPlacement baseline_placement(
+    const dram::Geometry& g, std::size_t n_weights);
+
+/// Result of Algorithm 2 with occupancy diagnostics.
+struct SparkXdPlacement {
+  error::ChunkPlacement chunks;
+  std::size_t safe_subarrays = 0;    ///< subarrays meeting BER_th
+  std::size_t unsafe_subarrays = 0;  ///< subarrays skipped as unsafe
+};
+
+/// Algorithm 2: error-aware, row-hit-maximizing, bank-rotating placement.
+/// `module_ber` is the operating error rate (from the supply voltage);
+/// `ber_threshold` is the model's maximum tolerable BER (BER_th).
+/// Throws if the safe subarrays cannot hold the data.
+[[nodiscard]] SparkXdPlacement sparkxd_placement(
+    const dram::Geometry& g, const error::SubarrayProfile& profile,
+    double module_ber, double ber_threshold, std::size_t n_weights);
+
+/// Builds the inference access trace: every used chunk read once per pass,
+/// in placement order (streaming weight fetch).
+[[nodiscard]] dram::AccessTrace streaming_read_trace(
+    const dram::Geometry& g, const error::ChunkPlacement& placement,
+    std::size_t n_weights, std::size_t passes = 1);
+
+}  // namespace sparkxd::mapping

@@ -1,0 +1,37 @@
+#include "snn/encoding.hpp"
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+PoissonEncoder::PoissonEncoder(float max_rate) : max_rate_(max_rate) {
+  SPARKXD_REQUIRE(max_rate > 0.0f && max_rate <= 1.0f,
+                  "max_rate must be a per-step probability in (0, 1]");
+}
+
+void PoissonEncoder::set_image(const std::vector<float>& image) {
+  active_idx_.clear();
+  active_p_.clear();
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (image[i] > 0.0f) {
+      SPARKXD_REQUIRE(image[i] <= 1.0f, "pixel intensities must be in [0,1]");
+      active_idx_.push_back(static_cast<std::uint32_t>(i));
+      active_p_.push_back(image[i] * max_rate_);
+    }
+  }
+}
+
+void PoissonEncoder::step(Rng& rng,
+                          std::vector<std::uint32_t>& spikes_out) const {
+  spikes_out.clear();
+  for (std::size_t k = 0; k < active_idx_.size(); ++k)
+    if (rng.uniform() < active_p_[k]) spikes_out.push_back(active_idx_[k]);
+}
+
+double PoissonEncoder::expected_spikes_per_step() const noexcept {
+  double e = 0.0;
+  for (const float p : active_p_) e += p;
+  return e;
+}
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,88 @@
+#include "snn/lif.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+LifLayer::LifLayer(std::size_t n, const LifParams& p, float dt_ms)
+    : p_(p),
+      decay_m_(std::exp(-dt_ms / p.tau_m_ms)),
+      decay_theta_(std::exp(-dt_ms / p.tau_theta_ms)),
+      v_(n, p.v_rest),
+      theta_(n, 0.0f),
+      refractory_(n, 0) {
+  SPARKXD_REQUIRE(n > 0, "LIF layer must have at least one neuron");
+  SPARKXD_REQUIRE(p.tau_m_ms > 0.0f && p.tau_theta_ms > 0.0f,
+                  "time constants must be positive");
+  SPARKXD_REQUIRE(dt_ms > 0.0f, "dt must be positive");
+  SPARKXD_REQUIRE(p.v_thresh > p.v_reset,
+                  "threshold must sit above the reset potential");
+}
+
+void LifLayer::reset_dynamics() {
+  std::fill(v_.begin(), v_.end(), p_.v_rest);
+  std::fill(refractory_.begin(), refractory_.end(), 0);
+}
+
+void LifLayer::reset_all() {
+  reset_dynamics();
+  std::fill(theta_.begin(), theta_.end(), 0.0f);
+}
+
+void LifLayer::step(const std::vector<float>& input_current,
+                    std::vector<std::uint32_t>& spikes_out) {
+  SPARKXD_REQUIRE(input_current.size() == v_.size(),
+                  "input current width must match layer size");
+  spikes_out.clear();
+  const std::size_t n = v_.size();
+  // Integrate, then collect threshold crossings.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (refractory_[i] > 0) {
+      --refractory_[i];
+      v_[i] = p_.v_reset;
+      continue;
+    }
+    // Leak toward rest, then integrate this step's synaptic drive.
+    v_[i] = p_.v_rest + (v_[i] - p_.v_rest) * decay_m_ + input_current[i];
+    if (plastic_) theta_[i] *= decay_theta_;
+    if (v_[i] >= p_.v_thresh + theta_[i])
+      spikes_out.push_back(static_cast<std::uint32_t>(i));
+  }
+  const bool compete = plastic_ || p_.compete_at_inference;
+  // Hard WTA: of the simultaneous crossings keep only the neuron whose
+  // potential exceeds its threshold by the largest margin.
+  if (compete && p_.winner_take_all && spikes_out.size() > 1) {
+    std::uint32_t best = spikes_out.front();
+    float best_margin = v_[best] - theta_[best];
+    for (const auto s : spikes_out) {
+      const float margin = v_[s] - theta_[s];
+      if (margin > best_margin) {
+        best = s;
+        best_margin = margin;
+      }
+    }
+    spikes_out.assign(1, best);
+  }
+  for (const auto s : spikes_out) {
+    v_[s] = p_.v_reset;
+    refractory_[s] = p_.refractory_steps;
+    if (plastic_) theta_[s] += p_.theta_plus;
+  }
+  // Lateral inhibition: each spike pushes every *other* neuron down.
+  if (compete && !spikes_out.empty() && p_.inhibition > 0.0f) {
+    const float total =
+        p_.inhibition * static_cast<float>(spikes_out.size());
+    for (std::size_t i = 0; i < n; ++i) v_[i] -= total;
+    // Spiking neurons should not inhibit themselves: undo their own share.
+    for (const auto s : spikes_out) v_[s] += p_.inhibition;
+    // Do not let inhibition push potentials unphysically far below reset.
+    const float floor = p_.v_rest - 5.0f * p_.v_thresh;
+    for (std::size_t i = 0; i < n; ++i)
+      if (v_[i] < floor) v_[i] = floor;
+  }
+}
+
+}  // namespace sparkxd::snn

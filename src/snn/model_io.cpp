@@ -1,0 +1,123 @@
+#include "snn/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'X', 'D', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPARKXD_REQUIRE(is.good(), "truncated model file");
+}
+
+template <typename T>
+void write_vec(std::ofstream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::ifstream& is, std::vector<T>& v,
+              std::uint64_t max_elems) {
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  SPARKXD_REQUIRE(n <= max_elems, "model file declares an absurd size");
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  SPARKXD_REQUIRE(is.good(), "truncated model file");
+}
+
+}  // namespace
+
+void save_model(const TrainedModel& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SPARKXD_REQUIRE(os.good(), "cannot open model file for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+
+  const auto& cfg = model.net.config();
+  write_pod(os, static_cast<std::uint64_t>(cfg.n_inputs));
+  write_pod(os, static_cast<std::uint64_t>(cfg.n_neurons));
+  write_pod(os, static_cast<std::uint64_t>(cfg.timesteps));
+  write_pod(os, cfg.dt_ms);
+  write_pod(os, cfg.max_rate);
+  write_pod(os, cfg.norm_target);
+  write_pod(os, cfg.seed);
+  write_pod(os, cfg.lif);
+  write_pod(os, cfg.stdp);
+
+  write_vec(os, model.net.weights());
+  write_vec(os, model.net.thetas());
+  write_vec(os, model.labels.label);
+  write_vec(os, model.labels.bias);
+  write_pod(os, static_cast<std::uint64_t>(model.labels.num_classes));
+  write_pod(os, model.clean_accuracy);
+  SPARKXD_ENSURE(os.good(), "model write failed");
+}
+
+TrainedModel load_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPARKXD_REQUIRE(is.good(), "cannot open model file for reading");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  SPARKXD_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+                  "not a SparkXD model file");
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  SPARKXD_REQUIRE(version == kVersion, "unsupported model file version");
+
+  NetworkConfig cfg;
+  std::uint64_t n_inputs = 0, n_neurons = 0, timesteps = 0;
+  read_pod(is, n_inputs);
+  read_pod(is, n_neurons);
+  read_pod(is, timesteps);
+  cfg.n_inputs = static_cast<std::size_t>(n_inputs);
+  cfg.n_neurons = static_cast<std::size_t>(n_neurons);
+  cfg.timesteps = static_cast<std::size_t>(timesteps);
+  read_pod(is, cfg.dt_ms);
+  read_pod(is, cfg.max_rate);
+  read_pod(is, cfg.norm_target);
+  read_pod(is, cfg.seed);
+  read_pod(is, cfg.lif);
+  read_pod(is, cfg.stdp);
+
+  constexpr std::uint64_t kMaxElems = 1ull << 32;  // sanity bound
+  TrainedModel model{Network(cfg), {}, 0.0};
+  std::vector<float> weights, thetas;
+  read_vec(is, weights, kMaxElems);
+  read_vec(is, thetas, kMaxElems);
+  SPARKXD_REQUIRE(weights.size() == cfg.n_inputs * cfg.n_neurons,
+                  "weight payload does not match the stored shape");
+  SPARKXD_REQUIRE(thetas.size() == cfg.n_neurons,
+                  "theta payload does not match the stored shape");
+  model.net.weights_mut() = std::move(weights);
+  model.net.thetas_mut() = std::move(thetas);
+
+  read_vec(is, model.labels.label, kMaxElems);
+  read_vec(is, model.labels.bias, kMaxElems);
+  SPARKXD_REQUIRE(model.labels.label.size() == cfg.n_neurons &&
+                      model.labels.bias.size() == cfg.n_neurons,
+                  "label payload does not match the stored shape");
+  std::uint64_t num_classes = 0;
+  read_pod(is, num_classes);
+  model.labels.num_classes = static_cast<std::size_t>(num_classes);
+  read_pod(is, model.clean_accuracy);
+  return model;
+}
+
+}  // namespace sparkxd::snn

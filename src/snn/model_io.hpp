@@ -1,0 +1,26 @@
+#pragma once
+// Trained-model serialization.
+//
+// A deployment trains once (possibly on a workstation) and ships the
+// improved model to the edge device, so the trained state — weights,
+// adaptive thresholds, neuron labels/biases, and the exact network
+// configuration — must round-trip through a file.
+//
+// Format: a small versioned binary container ("SXDM"), little-endian,
+// fixed-width fields; no external dependencies.
+
+#include <string>
+
+#include "snn/trainer.hpp"
+
+namespace sparkxd::snn {
+
+/// Serializes a trained, labelled model to `path`. Throws ContractViolation
+/// on I/O failure.
+void save_model(const TrainedModel& model, const std::string& path);
+
+/// Loads a model previously written by save_model. Throws on I/O failure,
+/// bad magic/version, or a corrupt payload (size mismatch).
+[[nodiscard]] TrainedModel load_model(const std::string& path);
+
+}  // namespace sparkxd::snn

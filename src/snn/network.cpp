@@ -1,0 +1,84 @@
+#include "snn/network.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+Network::Network(const NetworkConfig& cfg)
+    : cfg_(cfg),
+      w_(cfg.n_neurons * cfg.n_inputs),
+      lif_(cfg.n_neurons, cfg.lif, cfg.dt_ms),
+      traces_(cfg.n_inputs, cfg.stdp.tau_pre_ms, cfg.dt_ms),
+      encoder_(cfg.max_rate),
+      current_(cfg.n_neurons, 0.0f) {
+  SPARKXD_REQUIRE(cfg.n_inputs > 0 && cfg.n_neurons > 0,
+                  "network dimensions must be positive");
+  SPARKXD_REQUIRE(cfg.timesteps > 0, "need at least one timestep per sample");
+  SPARKXD_REQUIRE(cfg.norm_target > 0.0f, "norm_target must be positive");
+  // Uniform random initial weights in [0, 0.3], then normalized — the
+  // standard initialization for this architecture.
+  Rng rng(cfg.seed);
+  for (float& w : w_) w = static_cast<float>(rng.uniform(0.0, 0.3));
+  normalize_rows();
+}
+
+void Network::normalize_rows() {
+  const std::size_t ni = cfg_.n_inputs;
+  for (std::size_t n = 0; n < cfg_.n_neurons; ++n) {
+    float* row = w_.data() + n * ni;
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < ni; ++i) sum += row[i];
+    if (sum <= 0.0f) continue;
+    const float scale = cfg_.norm_target / sum;
+    for (std::size_t i = 0; i < ni; ++i) row[i] *= scale;
+  }
+}
+
+void Network::reset_dynamics() {
+  lif_.reset_dynamics();
+  traces_.reset();
+  std::fill(current_.begin(), current_.end(), 0.0f);
+}
+
+std::vector<std::uint32_t> Network::process(const std::vector<float>& image,
+                                            bool learn, Rng& rng) {
+  SPARKXD_REQUIRE(image.size() == cfg_.n_inputs,
+                  "image size must match n_inputs");
+  reset_dynamics();
+  lif_.set_plastic(learn);
+  encoder_.set_image(image);
+
+  const std::size_t ni = cfg_.n_inputs;
+  std::vector<std::uint32_t> counts(cfg_.n_neurons, 0);
+
+  for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
+    encoder_.step(rng, in_spikes_);
+    if (learn) traces_.step(in_spikes_);
+
+    // Synaptic drive: one gather per (neuron, spiking input).
+    std::fill(current_.begin(), current_.end(), 0.0f);
+    if (!in_spikes_.empty()) {
+      for (std::size_t n = 0; n < cfg_.n_neurons; ++n) {
+        const float* row = w_.data() + n * ni;
+        float acc = 0.0f;
+        for (const auto i : in_spikes_) acc += row[i];
+        current_[n] = acc;
+      }
+    }
+
+    lif_.step(current_, out_spikes_);
+    for (const auto s : out_spikes_) {
+      ++counts[s];
+      if (learn)
+        stdp_post_update(w_.data() + static_cast<std::size_t>(s) * ni, ni,
+                         traces_.values(), cfg_.stdp);
+    }
+  }
+
+  if (learn) normalize_rows();
+  return counts;
+}
+
+}  // namespace sparkxd::snn

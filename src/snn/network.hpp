@@ -1,0 +1,68 @@
+#pragma once
+// The fully-connected unsupervised SNN of the paper's Fig. 4a: rate-coded
+// Poisson input -> excitatory LIF layer with lateral inhibition, trained
+// with STDP. Synaptic weights are stored as FP32 row-major [neuron][input] —
+// the exact array the approximate-DRAM error injector corrupts.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "snn/encoding.hpp"
+#include "snn/lif.hpp"
+#include "snn/params.hpp"
+#include "snn/stdp.hpp"
+
+namespace sparkxd::snn {
+
+/// A complete network instance (weights + neuron state + encoder).
+class Network {
+ public:
+  explicit Network(const NetworkConfig& cfg);
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
+
+  /// The synaptic weight matrix, row-major [n_neurons][n_inputs]. Mutable
+  /// access exists so the error injector can corrupt the stored bits and the
+  /// fault-aware trainer can restore snapshots.
+  [[nodiscard]] const std::vector<float>& weights() const noexcept {
+    return w_;
+  }
+  [[nodiscard]] std::vector<float>& weights_mut() noexcept { return w_; }
+
+  /// Adaptive thresholds (exposed for snapshot/restore alongside weights).
+  [[nodiscard]] const std::vector<float>& thetas() const noexcept {
+    return lif_.thetas();
+  }
+  [[nodiscard]] std::vector<float>& thetas_mut() noexcept {
+    return lif_.thetas_mut();
+  }
+
+  /// Presents one image for config().timesteps steps and returns per-neuron
+  /// spike counts. With learn=true, STDP and threshold adaptation are active
+  /// and the weight rows are re-normalized afterwards; with learn=false the
+  /// network is a pure inference engine (weights and thetas untouched).
+  /// `rng` drives the Poisson spike trains.
+  std::vector<std::uint32_t> process(const std::vector<float>& image,
+                                     bool learn, Rng& rng);
+
+  /// Rescales every neuron's incoming weights to sum to norm_target
+  /// (no-op for all-zero rows).
+  void normalize_rows();
+
+  /// Resets membrane dynamics (called automatically between samples).
+  void reset_dynamics();
+
+ private:
+  NetworkConfig cfg_;
+  std::vector<float> w_;
+  LifLayer lif_;
+  PreTraces traces_;
+  PoissonEncoder encoder_;
+  // Reused scratch buffers.
+  std::vector<float> current_;
+  std::vector<std::uint32_t> in_spikes_;
+  std::vector<std::uint32_t> out_spikes_;
+};
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,87 @@
+#pragma once
+// Parameter bundles for the SNN substrate.
+//
+// The architecture follows the paper's Fig. 4a (the Diehl & Cook-style
+// unsupervised network): every input pixel is connected to every excitatory
+// LIF neuron; each neuron's spikes laterally inhibit all other neurons
+// (competition); synapses learn with STDP; inputs are rate-coded Poisson
+// spike trains.
+//
+// Defaults are tuned for 28x28 inputs with weights in [0, 1] and a unit
+// firing threshold; they are deliberately stable across the network sizes the
+// paper sweeps (N400..N3600).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sparkxd::snn {
+
+/// Leaky integrate-and-fire neuron constants (paper §II-A, Fig. 4b).
+struct LifParams {
+  float v_rest = 0.0f;     ///< resting potential (leak target)
+  float v_reset = 0.0f;    ///< potential after a spike
+  float v_thresh = 1.0f;   ///< base firing threshold (before homeostasis)
+  float tau_m_ms = 25.0f;  ///< membrane leak time constant
+  int refractory_steps = 3;  ///< steps a neuron is silent after spiking
+  /// Adaptive-threshold (homeostasis) increment added on every spike; makes
+  /// neurons that fire often harder to fire, spreading receptive fields.
+  float theta_plus = 0.02f;
+  float tau_theta_ms = 6.0e4f;  ///< adaptive-threshold decay time constant
+  /// Lateral inhibition: potential subtracted from every *other* neuron for
+  /// each spike fired in a timestep (winner-take-all competition).
+  float inhibition = 5.0f;
+  /// Hard per-step winner-take-all: when several neurons cross threshold in
+  /// the same discrete step, only the one with the highest potential fires.
+  /// This is the discrete-time limit of the strong lateral inhibition in the
+  /// paper's Fig. 4a architecture — with coarse steps, simultaneous
+  /// crossings are common and would otherwise defeat the competition that
+  /// unsupervised STDP relies on to differentiate receptive fields.
+  bool winner_take_all = true;
+  /// Whether the competition (WTA + lateral inhibition) also runs at
+  /// inference. Training needs it to differentiate receptive fields; at
+  /// inference it *couples* neurons, letting a single corrupted neuron
+  /// suppress the whole population, so the default readout lets every
+  /// neuron integrate independently and relies on the bias-corrected
+  /// population vote (see snn::predict) for robustness.
+  bool compete_at_inference = true;
+};
+
+/// STDP constants.
+///
+/// We use the postsynaptic-spike-triggered formulation Diehl & Cook report
+/// for their published results: on a postsynaptic spike every incoming
+/// synapse moves by
+///     dw = eta * (x_pre - x_target) * (w_max - w),
+/// where x_pre is the presynaptic trace. Synapses whose input fired recently
+/// (x_pre near 1) are potentiated; stale synapses (x_pre near 0) are
+/// depressed toward w_min. The (w_max - w) factor is the soft weight bound.
+/// This rule is equivalent in fixed point to the pre/post pair rule but only
+/// touches a neuron's (contiguous) weight row when that neuron spikes, which
+/// matters on this single-core host.
+struct StdpParams {
+  float eta = 0.25f;     ///< learning rate applied at postsynaptic spikes
+  float x_target = 0.35f;  ///< presynaptic-trace offset (depression baseline)
+  float tau_pre_ms = 20.0f;  ///< presynaptic trace time constant
+  float w_min = 0.0f;
+  float w_max = 1.0f;
+};
+
+/// Full network configuration.
+struct NetworkConfig {
+  std::size_t n_inputs = 784;   ///< pixels
+  std::size_t n_neurons = 400;  ///< excitatory neurons (paper: 400..3600)
+  std::size_t timesteps = 60;   ///< simulation steps per sample
+  float dt_ms = 1.0f;           ///< timestep width
+  /// Poisson rate coding: spike probability per step for a full-intensity
+  /// pixel (pixel value scales linearly; paper §V "rate coding, Poisson").
+  float max_rate = 0.30f;
+  /// After each training sample every neuron's incoming weights are rescaled
+  /// to this L1 sum (Diehl & Cook weight normalization; keeps total drive
+  /// constant while STDP redistributes weight mass).
+  float norm_target = 11.0f;
+  std::uint64_t seed = 1;  ///< weight-init / spike-train seed
+  LifParams lif;
+  StdpParams stdp;
+};
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,43 @@
+#include "snn/stdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+PreTraces::PreTraces(std::size_t n_inputs, float tau_ms, float dt_ms)
+    : decay_(std::exp(-dt_ms / tau_ms)), x_(n_inputs, 0.0f) {
+  SPARKXD_REQUIRE(tau_ms > 0.0f && dt_ms > 0.0f,
+                  "trace time constants must be positive");
+}
+
+void PreTraces::reset() { std::fill(x_.begin(), x_.end(), 0.0f); }
+
+void PreTraces::step(const std::vector<std::uint32_t>& input_spikes) {
+  for (float& x : x_) x *= decay_;
+  for (const auto i : input_spikes) {
+    SPARKXD_REQUIRE(i < x_.size(), "input spike index out of range");
+    x_[i] = 1.0f;
+  }
+}
+
+void stdp_post_update(float* w_row, std::size_t n_inputs,
+                      const std::vector<float>& x_pre, const StdpParams& p) {
+  SPARKXD_REQUIRE(x_pre.size() == n_inputs,
+                  "trace width must match the weight row");
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const float drive = x_pre[i] - p.x_target;
+    // Asymmetric soft bounds: potentiation saturates toward w_max,
+    // depression toward w_min. Scaling depression by (w - w_min) matters
+    // for fault recovery: a weight corrupted to w_max must still be
+    // depressible, which a symmetric (w_max - w) factor would forbid.
+    const float dw = drive > 0.0f
+                         ? p.eta * drive * (p.w_max - w_row[i])
+                         : p.eta * drive * (w_row[i] - p.w_min);
+    w_row[i] = std::clamp(w_row[i] + dw, p.w_min, p.w_max);
+  }
+}
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,37 @@
+#pragma once
+// STDP weight update (postsynaptic-spike-triggered formulation; see the
+// StdpParams doc comment in params.hpp for the rule and its provenance).
+
+#include <cstddef>
+#include <vector>
+
+#include "snn/params.hpp"
+
+namespace sparkxd::snn {
+
+/// Presynaptic spike traces: x_i <- x_i * exp(-dt/tau) each step, set to 1
+/// when input i spikes. Values stay in [0, 1].
+class PreTraces {
+ public:
+  PreTraces(std::size_t n_inputs, float tau_ms, float dt_ms);
+
+  void reset();
+  /// Decays all traces by one step, then sets spiking inputs' traces to 1.
+  void step(const std::vector<std::uint32_t>& input_spikes);
+
+  [[nodiscard]] const std::vector<float>& values() const noexcept {
+    return x_;
+  }
+
+ private:
+  float decay_;
+  std::vector<float> x_;
+};
+
+/// Applies the STDP update to one neuron's weight row at a postsynaptic
+/// spike:  w_i += eta * (x_pre_i - x_target) * (w_max - w_i), clamped to
+/// [w_min, w_max]. `w_row` points at n_inputs contiguous weights.
+void stdp_post_update(float* w_row, std::size_t n_inputs,
+                      const std::vector<float>& x_pre, const StdpParams& p);
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,110 @@
+#include "snn/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::snn {
+
+void train_epoch(Network& net, const data::Dataset& ds, Rng& rng) {
+  SPARKXD_REQUIRE(ds.pixels() == net.config().n_inputs,
+                  "dataset pixel count must match the network input width");
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    (void)net.process(ds.images[i], /*learn=*/true, rng);
+}
+
+NeuronLabels label_neurons(Network& net, const data::Dataset& ds, Rng& rng) {
+  SPARKXD_REQUIRE(ds.size() > 0, "cannot label neurons on an empty dataset");
+  const std::size_t n = net.config().n_neurons;
+  const std::size_t k = ds.num_classes;
+  // responses[n][c] = summed spikes of neuron n over class-c samples.
+  std::vector<double> responses(n * k, 0.0);
+  std::vector<std::size_t> class_count(k, 0);
+
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto counts = net.process(ds.images[i], /*learn=*/false, rng);
+    const auto c = ds.labels[i];
+    ++class_count[c];
+    for (std::size_t j = 0; j < n; ++j) responses[j * k + c] += counts[j];
+  }
+
+  NeuronLabels out;
+  out.num_classes = k;
+  out.label.assign(n, -1);
+  out.bias.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double best = 0.0;
+    double total = 0.0;
+    std::int32_t best_c = -1;
+    for (std::size_t c = 0; c < k; ++c) {
+      // Average response per presented sample of that class.
+      const double avg = class_count[c]
+                             ? responses[j * k + c] /
+                                   static_cast<double>(class_count[c])
+                             : 0.0;
+      total += responses[j * k + c];
+      if (avg > best) {
+        best = avg;
+        best_c = static_cast<std::int32_t>(c);
+      }
+    }
+    out.label[j] = best_c;
+    out.bias[j] = total / static_cast<double>(ds.size());
+  }
+  return out;
+}
+
+std::int32_t predict(Network& net, const NeuronLabels& labels,
+                     const std::vector<float>& image, Rng& rng) {
+  SPARKXD_REQUIRE(labels.label.size() == net.config().n_neurons,
+                  "label table must match the network size");
+  const auto counts = net.process(image, /*learn=*/false, rng);
+  std::vector<double> votes(labels.num_classes, 0.0);
+  std::vector<std::size_t> members(labels.num_classes, 0);
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    const auto c = labels.label[j];
+    if (c < 0) continue;
+    // Bias-corrected vote: a neuron only contributes its response *excess*
+    // over its labelling-time mean, so indiscriminate firing cancels.
+    votes[static_cast<std::size_t>(c)] +=
+        static_cast<double>(counts[j]) - labels.bias[j];
+    ++members[static_cast<std::size_t>(c)];
+  }
+  double best = 0.0;
+  std::int32_t best_c = -1;
+  bool first = true;
+  for (std::size_t c = 0; c < votes.size(); ++c) {
+    if (members[c] == 0) continue;
+    const double avg = votes[c] / static_cast<double>(members[c]);
+    if (first || avg > best) {
+      best = avg;
+      best_c = static_cast<std::int32_t>(c);
+      first = false;
+    }
+  }
+  return best_c;
+}
+
+double evaluate(Network& net, const NeuronLabels& labels,
+                const data::Dataset& ds, Rng& rng) {
+  SPARKXD_REQUIRE(ds.size() > 0, "cannot evaluate on an empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    if (predict(net, labels, ds.images[i], rng) ==
+        static_cast<std::int32_t>(ds.labels[i]))
+      ++correct;
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+TrainedModel train_and_label(const NetworkConfig& cfg,
+                             const data::Dataset& train,
+                             const data::Dataset& test, std::size_t epochs,
+                             Rng& rng) {
+  TrainedModel m{Network(cfg), {}, 0.0};
+  for (std::size_t e = 0; e < epochs; ++e) train_epoch(m.net, train, rng);
+  m.labels = label_neurons(m.net, train, rng);
+  m.clean_accuracy = evaluate(m.net, m.labels, test, rng);
+  return m;
+}
+
+}  // namespace sparkxd::snn

@@ -1,0 +1,373 @@
+// Tests for the common foundation: RNG determinism and distribution
+// statistics, bit utilities, numeric helpers, table emission, env knobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace sparkxd {
+namespace {
+
+// ---------------------------------------------------------------- Rng basics
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(7);
+  const auto before = Rng(7).next_u64();
+  Rng f1 = parent.fork(42);
+  Rng f2 = parent.fork(42);
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  EXPECT_EQ(parent.next_u64(), before);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += f1.next_u64() == f2.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(13);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanOneParameterization) {
+  // lognormal(-sigma^2/2, sigma) has mean 1 — the subarray-profile
+  // normalization relies on this.
+  Rng rng(31);
+  const double sigma = 0.8;
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i)
+    s.add(rng.lognormal(-0.5 * sigma * sigma, sigma));
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+}
+
+TEST(Rng, PoissonSmallLambdaMoments) {
+  Rng rng(37);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i)
+    s.add(static_cast<double>(rng.poisson(3.5)));
+  EXPECT_NEAR(s.mean(), 3.5, 0.1);
+  EXPECT_NEAR(s.variance(), 3.5, 0.2);
+}
+
+TEST(Rng, PoissonLargeLambdaMoments) {
+  Rng rng(41);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i)
+    s.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(s.mean(), 200.0, 1.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(200.0), 0.5);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(43);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(47);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(59);
+  const auto s = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(61);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleRejectsOverdraw) {
+  Rng rng(67);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), ContractViolation);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, AdjacentIdsDecorrelate) {
+  // Consecutive cell addresses must not produce correlated scores.
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 1000; ++i) out.insert(hash_combine(42, i));
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+// ----------------------------------------------------------------- bit utils
+
+TEST(Bits, FloatRoundTrip) {
+  for (const float f : {0.0f, 1.0f, -2.5f, 3.14159f, 1e-30f}) {
+    EXPECT_EQ(bits_to_float(float_to_bits(f)), f);
+  }
+}
+
+TEST(Bits, FlipBitIsInvolution) {
+  const std::uint32_t w = 0xDEADBEEF;
+  for (unsigned b = 0; b < 32; ++b) EXPECT_EQ(flip_bit(flip_bit(w, b), b), w);
+}
+
+TEST(Bits, FlipFloatSignBit) {
+  EXPECT_FLOAT_EQ(flip_float_bit(1.5f, 31), -1.5f);
+}
+
+TEST(Bits, FlipFloatExponentMsbIsLarge) {
+  // The paper's label-2 observation: MSB-side flips change weights a lot.
+  const float w = 0.1f;
+  const float corrupted = flip_float_bit(w, 30);
+  EXPECT_GT(std::abs(corrupted), 1e6f);
+}
+
+TEST(Bits, FlipFloatMantissaLsbIsSmall) {
+  const float w = 0.1f;
+  const float corrupted = flip_float_bit(w, 0);
+  EXPECT_NEAR(corrupted, w, 1e-6f);
+  EXPECT_NE(corrupted, w);
+}
+
+TEST(Bits, FlipRejectsOutOfRangeBit) {
+  EXPECT_THROW((void)flip_float_bit(1.0f, 32), ContractViolation);
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0x0, 0x0), 0);
+  EXPECT_EQ(hamming_distance(0x0, 0xF), 4);
+  EXPECT_EQ(hamming_distance(0xFFFFFFFF, 0x0), 32);
+}
+
+TEST(Bits, AlignUp) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 8), 16u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_pow2(64), 6u);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatMatchesBatch) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat s;
+  for (const double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(stddev({5.0}), 0.0);
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW((void)percentile({}, 50), ContractViolation);
+}
+
+TEST(Stats, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Stats, LogspaceEndpointsAndMonotonic) {
+  const auto v = logspace(1e-9, 1e-3, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_NEAR(v.front(), 1e-9, 1e-12);
+  EXPECT_NEAR(v.back(), 1e-3, 1e-6);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+  EXPECT_NEAR(v[1] / v[0], 10.0, 1e-6);
+}
+
+TEST(Stats, InterpClampsAndInterpolates) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 3.0), 40.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 1.5), 25.0);
+}
+
+TEST(Stats, Clamp) {
+  EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// --------------------------------------------------------------------- table
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo", {"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(39.46), "39.46%");
+  EXPECT_EQ(Table::sci(1e-5, 1), "1.0e-05");
+}
+
+// ----------------------------------------------------------------------- env
+
+TEST(Env, DoubleFallback) {
+  ::unsetenv("SPARKXD_TEST_VAR");
+  EXPECT_EQ(env_double("SPARKXD_TEST_VAR", 2.5), 2.5);
+  ::setenv("SPARKXD_TEST_VAR", "7.5", 1);
+  EXPECT_EQ(env_double("SPARKXD_TEST_VAR", 2.5), 7.5);
+  ::setenv("SPARKXD_TEST_VAR", "garbage", 1);
+  EXPECT_EQ(env_double("SPARKXD_TEST_VAR", 2.5), 2.5);
+  ::unsetenv("SPARKXD_TEST_VAR");
+}
+
+TEST(Env, ScaledAppliesFloor) {
+  ::setenv("SPARKXD_SCALE", "0.05", 1);
+  EXPECT_EQ(scaled(100, 10), 10u);
+  ::setenv("SPARKXD_SCALE", "2", 1);
+  EXPECT_EQ(scaled(100, 10), 200u);
+  ::unsetenv("SPARKXD_SCALE");
+  EXPECT_EQ(scaled(100, 10), 100u);
+}
+
+// ----------------------------------------------------------------- contracts
+
+TEST(Contracts, ViolationCarriesContext) {
+  try {
+    SPARKXD_REQUIRE(false, "specific context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("specific context"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sparkxd

@@ -1,0 +1,238 @@
+// Tests for the SparkXD core: corrupted evaluation, Algorithm 1 (fault-aware
+// training), tolerance analysis (§IV-C), and the end-to-end pipeline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "core/fault_aware.hpp"
+#include "core/pipeline.hpp"
+#include "mapping/mapping.hpp"
+
+namespace sparkxd::core {
+namespace {
+
+/// Shared expensive fixture: one trained baseline + injector, reused by all
+/// Algorithm-1 tests in this binary.
+class FaultAwareFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state = new State();
+    state->all = data::make_dataset(data::Task::kDigits, 550, 42);
+    state->train = state->all.take(400);
+    state->test = state->all.drop(400);
+    snn::NetworkConfig cfg;
+    cfg.n_neurons = 100;
+    cfg.seed = 42;
+    Rng rng(42);
+    state->baseline = std::make_unique<snn::TrainedModel>(
+        snn::train_and_label(cfg, state->train, state->test, 2, rng));
+    state->geometry = dram::Geometry::lpddr3_4gb();
+    state->profile =
+        std::make_unique<error::SubarrayProfile>(state->geometry, 42);
+    const std::size_t n_weights = cfg.n_inputs * cfg.n_neurons;
+    state->placement =
+        mapping::baseline_placement(state->geometry, n_weights);
+    state->injector = std::make_unique<error::ErrorInjector>(
+        state->geometry, *state->profile, error::ErrorModelSpec{},
+        state->placement, n_weights, 42, 1e-3);
+  }
+  static void TearDownTestSuite() {
+    delete state;
+    state = nullptr;
+  }
+
+  struct State {
+    data::Dataset all, train, test;
+    std::unique_ptr<snn::TrainedModel> baseline;
+    dram::Geometry geometry;
+    std::unique_ptr<error::SubarrayProfile> profile;
+    error::ChunkPlacement placement;
+    std::unique_ptr<error::ErrorInjector> injector;
+  };
+  static State* state;
+};
+
+FaultAwareFixture::State* FaultAwareFixture::state = nullptr;
+
+TEST_F(FaultAwareFixture, EvaluateCorruptedRestoresWeights) {
+  Rng rng(1);
+  const auto before = state->baseline->net.weights();
+  (void)evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                           *state->injector, 1e-3, state->test, rng);
+  EXPECT_EQ(state->baseline->net.weights(), before);
+}
+
+TEST_F(FaultAwareFixture, EvaluateCorruptedZeroBerEqualsClean) {
+  Rng a(2), b(2);
+  const double clean =
+      snn::evaluate(state->baseline->net, state->baseline->labels,
+                    state->test, a);
+  const double corrupted =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, 0.0, state->test, b);
+  EXPECT_DOUBLE_EQ(clean, corrupted);
+}
+
+TEST_F(FaultAwareFixture, HighBerDegradesBaseline) {
+  Rng rng(3);
+  const double corrupted =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, 1e-3, state->test, rng, 2);
+  EXPECT_LT(corrupted, state->baseline->clean_accuracy + 0.02);
+}
+
+TEST_F(FaultAwareFixture, RejectsZeroTrials) {
+  Rng rng(4);
+  EXPECT_THROW(
+      (void)evaluate_corrupted(state->baseline->net,
+                               state->baseline->labels, *state->injector,
+                               1e-3, state->test, rng, 0),
+      ContractViolation);
+}
+
+TEST_F(FaultAwareFixture, Algorithm1ImprovesCorruptedAccuracy) {
+  FaultTrainingConfig cfg;
+  cfg.ber_stages = {1e-7, 1e-5, 1e-3};
+  Rng rng(5);
+  const auto result = improve_error_tolerance(
+      *state->baseline, cfg, *state->injector, state->train, state->test,
+      rng);
+  ASSERT_TRUE(result.met_target);
+  EXPECT_EQ(result.stage_curve.size(), 3u);
+  // The improved model under corruption at BER_th meets the paper's bound.
+  Rng eval_rng(6);
+  auto improved = result.improved;
+  const double acc = evaluate_corrupted(improved.net, improved.labels,
+                                        *state->injector, result.ber_th,
+                                        state->test, eval_rng, 2);
+  EXPECT_GE(acc,
+            state->baseline->clean_accuracy - cfg.accuracy_bound - 0.03);
+}
+
+TEST_F(FaultAwareFixture, Algorithm1BerThIsAStageValue) {
+  FaultTrainingConfig cfg;
+  cfg.ber_stages = {1e-7, 1e-5, 1e-3};
+  Rng rng(7);
+  const auto result = improve_error_tolerance(
+      *state->baseline, cfg, *state->injector, state->train, state->test,
+      rng);
+  if (result.met_target) {
+    bool found = false;
+    for (const double s : cfg.ber_stages) found |= s == result.ber_th;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(FaultAwareFixture, Algorithm1RejectsBadSchedules) {
+  FaultTrainingConfig cfg;
+  cfg.ber_stages = {};
+  Rng rng(8);
+  EXPECT_THROW((void)improve_error_tolerance(*state->baseline, cfg,
+                                             *state->injector, state->train,
+                                             state->test, rng),
+               ContractViolation);
+  cfg.ber_stages = {1e-3, 1e-5};  // descending
+  EXPECT_THROW((void)improve_error_tolerance(*state->baseline, cfg,
+                                             *state->injector, state->train,
+                                             state->test, rng),
+               ContractViolation);
+  cfg.ber_stages = {1e-5};
+  cfg.epochs_per_stage = 0;
+  EXPECT_THROW((void)improve_error_tolerance(*state->baseline, cfg,
+                                             *state->injector, state->train,
+                                             state->test, rng),
+               ContractViolation);
+}
+
+TEST_F(FaultAwareFixture, ToleranceCurveIsRecordedAscending) {
+  Rng rng(9);
+  auto model = *state->baseline;  // copy
+  const std::vector<double> rates{1e-7, 1e-5, 1e-3};
+  const auto analysis =
+      analyze_tolerance(model.net, model.labels, *state->injector, rates,
+                        0.0, state->test, rng);
+  ASSERT_EQ(analysis.curve.size(), 3u);
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    EXPECT_EQ(analysis.curve[i].ber, rates[i]);
+  // target 0 -> every point passes -> BER_th is the last stage.
+  EXPECT_TRUE(analysis.met_target);
+  EXPECT_EQ(analysis.ber_th, 1e-3);
+}
+
+TEST_F(FaultAwareFixture, ToleranceUnreachableTarget) {
+  Rng rng(10);
+  auto model = *state->baseline;
+  const auto analysis =
+      analyze_tolerance(model.net, model.labels, *state->injector,
+                        {1e-5, 1e-3}, 1.01, state->test, rng);
+  EXPECT_FALSE(analysis.met_target);
+  EXPECT_EQ(analysis.ber_th, 0.0);
+}
+
+TEST_F(FaultAwareFixture, ToleranceRejectsDescendingRates) {
+  Rng rng(11);
+  auto model = *state->baseline;
+  EXPECT_THROW(
+      (void)analyze_tolerance(model.net, model.labels, *state->injector,
+                              {1e-3, 1e-5}, 0.5, state->test, rng),
+      ContractViolation);
+}
+
+// ------------------------------------------------------------------ pipeline
+
+TEST(Pipeline, EndToEndSmoke) {
+  PipelineConfig cfg;
+  cfg.network.n_neurons = 64;
+  cfg.network.seed = 42;
+  cfg.train_samples = 250;
+  cfg.test_samples = 100;
+  cfg.baseline_epochs = 1;
+  cfg.fault_training.ber_stages = {1e-5, 1e-3};
+  const auto r = run_pipeline(cfg);
+
+  EXPECT_GT(r.baseline_accuracy, 0.3);
+  EXPECT_GT(r.baseline_energy_nj, 0.0);
+  ASSERT_EQ(r.per_voltage.size(), 5u);
+
+  double prev_energy = r.baseline_energy_nj * 1.01;
+  for (const auto& v : r.per_voltage) {
+    // Energy strictly decreases with voltage; savings grow.
+    EXPECT_LT(v.energy_nj, prev_energy);
+    prev_energy = v.energy_nj;
+    EXPECT_GT(v.saving_pct, 0.0);
+    // Throughput is maintained (paper Fig. 12b).
+    EXPECT_GE(v.speedup, 0.99);
+    // The mapping keeps the row buffer hot.
+    EXPECT_GT(v.row_hit_rate, 0.9);
+    EXPECT_GT(v.safe_subarrays, 0u);
+  }
+  // Headline: the lowest voltage saves roughly 40% (paper: 39.46% average).
+  EXPECT_NEAR(r.per_voltage.back().saving_pct, 39.5, 3.0);
+}
+
+TEST(Pipeline, AccuracyWithinBoundAcrossVoltages) {
+  PipelineConfig cfg;
+  cfg.network.n_neurons = 100;
+  cfg.network.seed = 42;
+  cfg.train_samples = 400;
+  cfg.test_samples = 150;
+  cfg.baseline_epochs = 2;
+  cfg.fault_training.ber_stages = {1e-7, 1e-5, 1e-3};
+  const auto r = run_pipeline(cfg);
+  ASSERT_TRUE(r.met_target);
+  for (const auto& v : r.per_voltage)
+    EXPECT_GE(v.accuracy, r.baseline_accuracy -
+                              cfg.fault_training.accuracy_bound - 0.04)
+        << "at " << v.v_supply << " V";
+}
+
+TEST(Pipeline, RejectsEmptyVoltageList) {
+  PipelineConfig cfg;
+  cfg.voltages.clear();
+  EXPECT_THROW((void)run_pipeline(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sparkxd::core

@@ -1,0 +1,147 @@
+// Tests for DRAM geometry, address codecs and identifiers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "dram/geometry.hpp"
+
+namespace sparkxd::dram {
+namespace {
+
+TEST(Geometry, Lpddr3CapacityIs4Gb) {
+  const auto g = Geometry::lpddr3_4gb();
+  g.validate();
+  EXPECT_EQ(g.total_bytes(), 512ull * 1024 * 1024);  // 4 Gb = 512 MB
+  EXPECT_EQ(g.row_bytes(), 2048u);
+  EXPECT_EQ(g.rows_per_bank(), 32768u);
+  EXPECT_EQ(g.burst_bytes(), 32u);
+  EXPECT_EQ(g.total_subarrays(), 8u * 64u);
+}
+
+TEST(Geometry, DerivedQuantitiesConsistent) {
+  const auto g = Geometry::lpddr3_4gb();
+  EXPECT_EQ(g.bank_bytes() * g.banks_per_chip, g.chip_bytes());
+  EXPECT_EQ(g.row_bytes() * g.rows_per_bank(), g.bank_bytes());
+}
+
+TEST(Geometry, ValidateRejectsZeroLevels) {
+  auto g = Geometry::lpddr3_4gb();
+  g.banks_per_chip = 0;
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Geometry, ValidateRejectsBadBurst) {
+  auto g = Geometry::lpddr3_4gb();
+  g.burst_columns = 7;  // does not divide 512
+  EXPECT_THROW(g.validate(), ContractViolation);
+  g.burst_columns = 1024;  // larger than the row
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Address, CodecRoundTripExhaustiveOnSmallGeometry) {
+  Geometry g;
+  g.channels = 2;
+  g.ranks_per_channel = 2;
+  g.chips_per_rank = 2;
+  g.banks_per_chip = 2;
+  g.subarrays_per_bank = 2;
+  g.rows_per_subarray = 4;
+  g.columns_per_row = 8;
+  g.column_bytes = 4;
+  g.burst_columns = 4;
+  g.validate();
+  for (std::uint64_t b = 0; b < g.total_bytes(); b += g.column_bytes) {
+    const auto a = decode_linear(g, b);
+    EXPECT_EQ(encode_linear(g, a), b);
+  }
+}
+
+TEST(Address, CodecRoundTripRandomOnFullGeometry) {
+  const auto g = Geometry::lpddr3_4gb();
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Address a;
+    a.bank = static_cast<std::uint32_t>(rng.index(g.banks_per_chip));
+    a.subarray = static_cast<std::uint32_t>(rng.index(g.subarrays_per_bank));
+    a.row = static_cast<std::uint32_t>(rng.index(g.rows_per_subarray));
+    a.column = static_cast<std::uint32_t>(rng.index(g.columns_per_row));
+    const auto enc = encode_linear(g, a);
+    EXPECT_EQ(decode_linear(g, enc), a);
+  }
+}
+
+TEST(Address, LinearAddressesAreColumnMajorWithinRow) {
+  const auto g = Geometry::lpddr3_4gb();
+  Address a{0, 0, 0, 0, 0, 0, 0};
+  Address b = a;
+  b.column = 1;
+  EXPECT_EQ(encode_linear(g, b), encode_linear(g, a) + g.column_bytes);
+}
+
+TEST(Address, CheckAddressRejectsOutOfRange) {
+  const auto g = Geometry::lpddr3_4gb();
+  Address a;
+  a.bank = g.banks_per_chip;
+  EXPECT_THROW(check_address(g, a), ContractViolation);
+  a = Address{};
+  a.column = g.columns_per_row;
+  EXPECT_THROW(check_address(g, a), ContractViolation);
+  a = Address{};
+  a.channel = 1;  // only one channel
+  EXPECT_THROW(check_address(g, a), ContractViolation);
+}
+
+TEST(Address, DecodeRejectsOutOfRangeByte) {
+  const auto g = Geometry::lpddr3_4gb();
+  EXPECT_THROW((void)decode_linear(g, g.total_bytes()), ContractViolation);
+}
+
+TEST(Identifiers, SubarrayIdsAreDenseAndUnique) {
+  const auto g = Geometry::lpddr3_4gb();
+  std::set<std::uint64_t> ids;
+  for (std::uint32_t ba = 0; ba < g.banks_per_chip; ++ba)
+    for (std::uint32_t su = 0; su < g.subarrays_per_bank; ++su) {
+      Address a{0, 0, 0, ba, su, 0, 0};
+      const auto id = subarray_id(g, a);
+      EXPECT_LT(id, g.total_subarrays());
+      ids.insert(id);
+    }
+  EXPECT_EQ(ids.size(), g.total_subarrays());
+}
+
+TEST(Identifiers, BankRowCombinesSubarrayAndRow) {
+  const auto g = Geometry::lpddr3_4gb();
+  Address a{0, 0, 0, 0, 2, 5, 0};
+  EXPECT_EQ(bank_row(g, a), 2u * g.rows_per_subarray + 5u);
+}
+
+TEST(Identifiers, BankIdDistinguishesBanks) {
+  const auto g = Geometry::lpddr3_4gb();
+  Address a{0, 0, 0, 3, 0, 0, 0};
+  Address b{0, 0, 0, 4, 0, 0, 0};
+  EXPECT_NE(bank_id(g, a), bank_id(g, b));
+}
+
+TEST(Identifiers, CellBitIndexUniquePerBit) {
+  const auto g = Geometry::lpddr3_4gb();
+  const Address a{0, 0, 0, 1, 2, 3, 4};
+  std::set<std::uint64_t> cells;
+  for (std::uint32_t bit = 0; bit < 32; ++bit)
+    cells.insert(cell_bit_index(g, a, bit));
+  EXPECT_EQ(cells.size(), 32u);
+  // Adjacent columns do not overlap bit ranges.
+  Address b = a;
+  b.column += 1;
+  EXPECT_EQ(cell_bit_index(g, b, 0), cell_bit_index(g, a, 0) + 32);
+}
+
+TEST(Identifiers, CellBitIndexRejectsWideBit) {
+  const auto g = Geometry::lpddr3_4gb();
+  EXPECT_THROW((void)cell_bit_index(g, Address{}, 32), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sparkxd::dram

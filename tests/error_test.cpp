@@ -1,0 +1,314 @@
+// Tests for the approximate-DRAM error substrate: subarray profiles, the
+// four EDEN error models, weak-cell determinism/nesting, and injection
+// statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "error/injector.hpp"
+#include "mapping/mapping.hpp"
+
+namespace sparkxd::error {
+namespace {
+
+dram::Geometry geom() { return dram::Geometry::lpddr3_4gb(); }
+
+/// A placement + weight buffer big enough for meaningful statistics.
+struct InjectorFixture {
+  dram::Geometry g = geom();
+  SubarrayProfile profile{g, 42};
+  std::size_t n_weights = 200000;
+  ChunkPlacement placement =
+      mapping::baseline_placement(g, n_weights);
+  std::vector<float> weights = std::vector<float>(n_weights, 0.1f);
+};
+
+// ------------------------------------------------------------------- profile
+
+TEST(SubarrayProfile, DeterministicPerSeed) {
+  const SubarrayProfile a(geom(), 7), b(geom(), 7), c(geom(), 8);
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.weakness(i), b.weakness(i));
+  }
+  bool differs = false;
+  for (std::uint64_t i = 0; i < a.size() && !differs; ++i)
+    differs = a.weakness(i) != c.weakness(i);
+  EXPECT_TRUE(differs);
+}
+
+TEST(SubarrayProfile, WeaknessMeanNearOne) {
+  // Use a bigger module for tighter statistics.
+  auto g = geom();
+  g.subarrays_per_bank = 512;
+  const SubarrayProfile p(g, 3);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < p.size(); ++i) sum += p.weakness(i);
+  EXPECT_NEAR(sum / static_cast<double>(p.size()), 1.0, 0.1);
+}
+
+TEST(SubarrayProfile, RateScalesWithModuleBer) {
+  const SubarrayProfile p(geom(), 7);
+  EXPECT_DOUBLE_EQ(p.rate(0, 0.0), 0.0);
+  EXPECT_NEAR(p.rate(0, 1e-4) / p.rate(0, 1e-6), 100.0, 1e-6);
+}
+
+TEST(SubarrayProfile, RateClampedAtHalf) {
+  const SubarrayProfile p(geom(), 7, 2.0);  // wide spread
+  for (std::uint64_t i = 0; i < p.size(); ++i)
+    EXPECT_LE(p.rate(i, 0.4), 0.5);
+}
+
+TEST(SubarrayProfile, CountSafeMonotoneInThreshold) {
+  const SubarrayProfile p(geom(), 7);
+  const double ber = 1e-3;
+  std::size_t prev = 0;
+  for (const double th : {1e-5, 1e-4, 1e-3, 1e-2, 1.0}) {
+    const auto n = p.count_safe(ber, th);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+  EXPECT_EQ(p.count_safe(ber, 1.0), p.size());
+}
+
+TEST(SubarrayProfile, HalfSafeAtThresholdEqualBer) {
+  // weakness is lognormal with median < mean=1: more than half the
+  // subarrays have rate <= module BER.
+  const SubarrayProfile p(geom(), 7);
+  const auto safe = p.count_safe(1e-3, 1e-3);
+  EXPECT_GT(safe, p.size() / 2);
+  EXPECT_LT(safe, p.size());
+}
+
+TEST(SubarrayProfile, ZeroSigmaIsUniform) {
+  const SubarrayProfile p(geom(), 7, 0.0);
+  for (std::uint64_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(p.weakness(i), 1.0, 1e-9);
+}
+
+TEST(SubarrayProfile, RejectsOutOfRange) {
+  const SubarrayProfile p(geom(), 7);
+  EXPECT_THROW((void)p.weakness(p.size()), ContractViolation);
+  EXPECT_THROW((void)p.rate(0, 2.0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ injector
+
+TEST(Injector, ExpectedFlipRateMatchesBer) {
+  InjectorFixture f;
+  const double ber = 1e-3;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          ber);
+  // The placement covers a couple of subarrays; the expected rate is
+  // ber * (their average weakness), so compare against that.
+  const auto bits = static_cast<double>(f.n_weights) * 32.0;
+  const double expected = inj.expected_flips(ber);
+  Rng rng(1);
+  double total = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto w = f.weights;
+    total += static_cast<double>(inj.inject(w, ber, rng));
+  }
+  const double measured = total / trials;
+  EXPECT_NEAR(measured / expected, 1.0, 0.1);
+  // And the absolute rate is the right order of magnitude.
+  EXPECT_GT(measured / bits, ber * 0.1);
+  EXPECT_LT(measured / bits, ber * 10.0);
+}
+
+TEST(Injector, WeakSetsAreNestedAcrossBer) {
+  // Cells failing at a low BER must also fail at a higher BER (voltage
+  // reduction only adds failures). inject_all_weak flips every weak cell,
+  // so the flip count must be monotone in BER.
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          1e-3);
+  std::size_t prev = 0;
+  for (const double ber : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    auto w = f.weights;
+    const auto flips = inj.inject_all_weak(w, ber);
+    EXPECT_GE(flips, prev);
+    prev = flips;
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+TEST(Injector, SameSeedSameWeakCells) {
+  InjectorFixture f;
+  const auto a = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                        1e-3);
+  const auto b = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                        1e-3);
+  auto wa = f.weights, wb = f.weights;
+  (void)a.inject_all_weak(wa, 1e-3);
+  (void)b.inject_all_weak(wb, 1e-3);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(Injector, DifferentSeedDifferentWeakCells) {
+  InjectorFixture f;
+  const auto a = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                        1e-3);
+  const auto b = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 43,
+                        1e-3);
+  auto wa = f.weights, wb = f.weights;
+  (void)a.inject_all_weak(wa, 1e-3);
+  (void)b.inject_all_weak(wb, 1e-3);
+  EXPECT_NE(wa, wb);
+}
+
+TEST(Injector, ZeroBerNeverFlips) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          1e-3);
+  Rng rng(1);
+  auto w = f.weights;
+  EXPECT_EQ(inj.inject(w, 0.0, rng), 0u);
+  EXPECT_EQ(w, f.weights);
+}
+
+TEST(Injector, SanitizeClampsCorruptedValues) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          1e-3);
+  Rng rng(1);
+  auto w = f.weights;
+  (void)inj.inject(w, 1e-3, rng, {0.0f, 0.4f});
+  for (const float v : w) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 0.4f);
+    EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+TEST(Injector, RejectsBerAboveMax) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          1e-5);
+  Rng rng(1);
+  auto w = f.weights;
+  EXPECT_THROW((void)inj.inject(w, 1e-3, rng), ContractViolation);
+}
+
+TEST(Injector, RejectsUndersizedPlacement) {
+  InjectorFixture f;
+  ChunkPlacement tiny(f.placement.begin(), f.placement.begin() + 2);
+  EXPECT_THROW(ErrorInjector::for_weights(f.g, f.profile, {}, tiny,
+                                          f.n_weights, 42, 1e-3),
+               ContractViolation);
+}
+
+TEST(Injector, FlipProbabilityIsHalfForWeakCells) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement, f.n_weights, 42,
+                          1e-3);
+  auto w_all = f.weights;
+  const auto all = inj.inject_all_weak(w_all, 1e-3);
+  Rng rng(2);
+  double sum = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    auto w = f.weights;
+    sum += static_cast<double>(inj.inject(w, 1e-3, rng));
+  }
+  EXPECT_NEAR(sum / 10.0 / static_cast<double>(all), kWeakCellFailProb, 0.05);
+}
+
+// ------------------------------------------------------------ error models
+
+class ModelKinds : public ::testing::TestWithParam<ErrorModelKind> {};
+
+TEST_P(ModelKinds, AllModelsProduceExpectedOrderOfFlips) {
+  InjectorFixture f;
+  ErrorModelSpec spec;
+  spec.kind = GetParam();
+  const double ber = 1e-3;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, spec, f.placement, f.n_weights, 42,
+                          ber);
+  Rng rng(3);
+  auto w = f.weights;
+  const auto flips = inj.inject(w, ber, rng);
+  const auto bits = static_cast<double>(f.n_weights) * 32.0;
+  EXPECT_GT(flips, bits * ber * 0.05);
+  EXPECT_LT(flips, bits * ber * 20.0);
+}
+
+TEST_P(ModelKinds, ToStringIsStable) {
+  EXPECT_NE(std::string(to_string(GetParam())).find("Model"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelKinds,
+    ::testing::Values(ErrorModelKind::kModel0Uniform,
+                      ErrorModelKind::kModel1Bitline,
+                      ErrorModelKind::kModel2Wordline,
+                      ErrorModelKind::kModel3DataDependent),
+    [](const auto& info) {
+      switch (info.param) {
+        case ErrorModelKind::kModel0Uniform: return "Model0";
+        case ErrorModelKind::kModel1Bitline: return "Model1";
+        case ErrorModelKind::kModel2Wordline: return "Model2";
+        case ErrorModelKind::kModel3DataDependent: return "Model3";
+      }
+      return "unknown";
+    });
+
+TEST(ErrorModels, Model1ConcentratesOnBitlines) {
+  // Under Model-1, weak cells cluster on a subset of bitlines; under
+  // Model-0 they spread across all of them. With the baseline placement a
+  // weight's bitline within its row is (weight_index mod 512, bit), so we
+  // count how many distinct bitlines receive at least one flip.
+  InjectorFixture f;
+  const std::size_t bitlines = 512 * 32;
+  const auto distinct_bitlines = [&](ErrorModelKind kind) {
+    ErrorModelSpec spec;
+    spec.kind = kind;
+    spec.stripe_sigma = 2.0;
+    const auto inj = ErrorInjector::for_weights(f.g, f.profile, spec, f.placement, f.n_weights,
+                            42, 1e-3);
+    auto w = f.weights;
+    (void)inj.inject_all_weak(w, 1e-3);
+    std::vector<char> hit(bitlines, 0);
+    const std::uint32_t clean = float_to_bits(0.1f);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const std::uint32_t diff = float_to_bits(w[i]) ^ clean;
+      if (!diff) continue;
+      for (unsigned b = 0; b < 32; ++b)
+        if ((diff >> b) & 1u) hit[(i % 512) * 32 + b] = 1;
+    }
+    std::size_t n = 0;
+    for (const char h : hit) n += static_cast<std::size_t>(h);
+    return n;
+  };
+  const auto m0 = distinct_bitlines(ErrorModelKind::kModel0Uniform);
+  const auto m1 = distinct_bitlines(ErrorModelKind::kModel1Bitline);
+  EXPECT_LT(m1, m0 * 8 / 10) << "Model-1 flips should cluster on fewer "
+                                "bitlines than Model-0";
+}
+
+TEST(ErrorModels, Model3PrefersSetBits) {
+  // With p1 >> p0, weak cells holding 1 flip far more often than those
+  // holding 0. Use an all-bits-set weight vs an all-bits-clear one.
+  InjectorFixture f;
+  ErrorModelSpec spec;
+  spec.kind = ErrorModelKind::kModel3DataDependent;
+  spec.p1 = 0.99;
+  spec.p0 = 0.01;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, spec, f.placement, f.n_weights, 42,
+                          1e-3);
+  Rng rng(5);
+  std::vector<float> ones(f.n_weights, bits_to_float(0xFFFFFFFFu));
+  std::vector<float> zeros(f.n_weights, bits_to_float(0x0u));
+  // No sanitization (lo=-inf style range wide enough): use a huge range so
+  // flips are counted, not clamped away.
+  const SanitizeRange wide{-3.4e38f, 3.4e38f};
+  const auto flips_ones = inj.inject(ones, 1e-3, rng, wide);
+  const auto flips_zeros = inj.inject(zeros, 1e-3, rng, wide);
+  EXPECT_GT(flips_ones, flips_zeros * 5);
+}
+
+}  // namespace
+}  // namespace sparkxd::error

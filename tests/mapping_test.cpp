@@ -1,0 +1,230 @@
+// Tests for the DRAM mapping policies (baseline §IV-B Step-2, SparkXD
+// Algorithm 2) and the trace generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "dram/controller.hpp"
+#include "mapping/mapping.hpp"
+
+namespace sparkxd::mapping {
+namespace {
+
+dram::Geometry geom() { return dram::Geometry::lpddr3_4gb(); }
+
+/// Encodes a chunk address into a unique key for uniqueness checks.
+std::uint64_t key(const dram::Geometry& g, const dram::Address& a) {
+  return dram::encode_linear(g, a);
+}
+
+TEST(Helpers, WeightsPerChunk) {
+  EXPECT_EQ(weights_per_chunk(geom()), 8u);  // 32 B / FP32
+  EXPECT_EQ(chunks_for_weights(geom(), 16), 2u);
+  EXPECT_EQ(chunks_for_weights(geom(), 17), 3u);
+  EXPECT_EQ(chunks_for_weights(geom(), 0), 0u);
+}
+
+// ------------------------------------------------------------------ baseline
+
+TEST(Baseline, CoversAllWeightsWithUniqueBurstAlignedChunks) {
+  const auto g = geom();
+  const std::size_t n_weights = 100000;
+  const auto p = baseline_placement(g, n_weights);
+  EXPECT_EQ(p.size(), chunks_for_weights(g, n_weights));
+  std::set<std::uint64_t> keys;
+  for (const auto& a : p) {
+    EXPECT_EQ(a.column % g.burst_columns, 0u) << "burst misaligned";
+    keys.insert(key(g, a));
+  }
+  EXPECT_EQ(keys.size(), p.size()) << "chunks overlap";
+}
+
+TEST(Baseline, FillsSubsequentAddressesInOneBankFirst) {
+  const auto g = geom();
+  const auto p = baseline_placement(g, 100000);
+  // First chunk at bank 0 row 0 col 0; consecutive chunks advance columns.
+  EXPECT_EQ(p[0].bank, 0u);
+  EXPECT_EQ(p[0].column, 0u);
+  EXPECT_EQ(p[1].column, g.burst_columns);
+  // All of these weights fit in bank 0.
+  for (const auto& a : p) EXPECT_EQ(a.bank, 0u);
+}
+
+TEST(Baseline, SpillsToNextBankWhenFull) {
+  auto g = geom();
+  g.subarrays_per_bank = 1;
+  g.rows_per_subarray = 2;  // tiny banks: 2 rows * 512 cols * 4 B = 4 KB
+  const std::size_t weights_per_bank =
+      g.rows_per_bank() * g.columns_per_row;  // FP32 words per bank
+  const auto p = baseline_placement(g, weights_per_bank + 8);
+  EXPECT_EQ(p.back().bank, 1u);
+}
+
+TEST(Baseline, ThrowsWhenModuleTooSmall) {
+  auto g = geom();
+  g.banks_per_chip = 1;
+  g.subarrays_per_bank = 1;
+  g.rows_per_subarray = 1;
+  EXPECT_THROW(baseline_placement(g, 10000), ContractViolation);
+}
+
+TEST(Baseline, LinearAddressesAreContiguous) {
+  // "Subsequent addresses in a DRAM bank": byte addresses advance by one
+  // burst per chunk.
+  const auto g = geom();
+  const auto p = baseline_placement(g, 5000);
+  for (std::size_t i = 1; i < p.size(); ++i)
+    EXPECT_EQ(key(g, p[i]), key(g, p[i - 1]) + g.burst_bytes());
+}
+
+// ------------------------------------------------------------------- sparkxd
+
+struct SparkXdFixture : public ::testing::Test {
+  dram::Geometry g = geom();
+  error::SubarrayProfile profile{g, 42};
+  double module_ber = 1e-3;
+  double ber_th = 1e-3;
+  std::size_t n_weights = 784 * 400;
+};
+
+TEST_F(SparkXdFixture, AllChunksInSafeSubarrays) {
+  const auto p =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  for (const auto& a : p.chunks) {
+    const auto sid = dram::subarray_id(g, a);
+    EXPECT_LE(profile.rate(sid, module_ber), ber_th)
+        << "weight stored in an unsafe subarray";
+  }
+}
+
+TEST_F(SparkXdFixture, ChunksUniqueAndComplete) {
+  const auto p =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  EXPECT_EQ(p.chunks.size(), chunks_for_weights(g, n_weights));
+  std::set<std::uint64_t> keys;
+  for (const auto& a : p.chunks) keys.insert(key(g, a));
+  EXPECT_EQ(keys.size(), p.chunks.size());
+}
+
+TEST_F(SparkXdFixture, DiagnosticsAddUp) {
+  const auto p =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  EXPECT_EQ(p.safe_subarrays + p.unsafe_subarrays, g.total_subarrays());
+  EXPECT_EQ(p.safe_subarrays, profile.count_safe(module_ber, ber_th));
+  EXPECT_GT(p.unsafe_subarrays, 0u);  // lognormal spread guarantees some
+}
+
+TEST_F(SparkXdFixture, RotatesAcrossBanksAtRowGranularity) {
+  const auto p =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  const std::size_t bursts_per_row = g.columns_per_row / g.burst_columns;
+  // Within the first row's worth of chunks the bank is constant...
+  for (std::size_t i = 1; i < bursts_per_row; ++i)
+    EXPECT_EQ(p.chunks[i].bank, p.chunks[0].bank);
+  // ...and the next row's worth sits in a different bank (multi-bank
+  // rotation), unless that bank was unsafe everywhere.
+  EXPECT_NE(p.chunks[bursts_per_row].bank, p.chunks[0].bank);
+}
+
+TEST_F(SparkXdFixture, EverythingSafeAtZeroBer) {
+  const auto p = sparkxd_placement(g, profile, 0.0, 0.0, n_weights);
+  EXPECT_EQ(p.safe_subarrays, g.total_subarrays());
+  EXPECT_EQ(p.unsafe_subarrays, 0u);
+}
+
+TEST_F(SparkXdFixture, ThrowsWhenNoSafeCapacity) {
+  // Threshold far below every subarray's rate -> nothing is safe.
+  EXPECT_THROW(sparkxd_placement(g, profile, 1e-3, 1e-9, n_weights),
+               ContractViolation);
+}
+
+TEST_F(SparkXdFixture, TighterThresholdUsesFewerSubarrays) {
+  const auto loose =
+      sparkxd_placement(g, profile, module_ber, 1e-3, n_weights);
+  const auto tight =
+      sparkxd_placement(g, profile, module_ber, 3e-4, n_weights);
+  EXPECT_LT(tight.safe_subarrays, loose.safe_subarrays);
+}
+
+TEST_F(SparkXdFixture, SkipsExactlyTheUnsafeSubarrays) {
+  const auto p =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  std::set<std::uint64_t> used;
+  for (const auto& a : p.chunks) used.insert(dram::subarray_id(g, a));
+  for (const auto sid : used)
+    EXPECT_LE(profile.rate(sid, module_ber), ber_th);
+}
+
+// ------------------------------------------------------------ trace & timing
+
+TEST_F(SparkXdFixture, ProposedMappingAtLeastAsFastAsBaseline) {
+  // The throughput claim of Fig. 12b: Algorithm 2 overlaps row switches
+  // across banks, so it cannot be slower than the baseline fill.
+  const auto base = baseline_placement(g, n_weights);
+  const auto prop =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  dram::Controller c(g, dram::TimingParams::lpddr3_1600());
+  const auto t_base =
+      c.run(streaming_read_trace(g, base, n_weights)).total_time_ns;
+  const auto t_prop =
+      c.run(streaming_read_trace(g, prop.chunks, n_weights)).total_time_ns;
+  EXPECT_LE(t_prop, t_base * 1.001);
+}
+
+TEST_F(SparkXdFixture, BothMappingsMaximizeRowHits) {
+  const auto base = baseline_placement(g, n_weights);
+  const auto prop =
+      sparkxd_placement(g, profile, module_ber, ber_th, n_weights);
+  dram::Controller c(g, dram::TimingParams::lpddr3_1600());
+  const auto s_base = c.run(streaming_read_trace(g, base, n_weights));
+  const auto s_prop = c.run(streaming_read_trace(g, prop.chunks, n_weights));
+  EXPECT_GT(s_base.hit_rate(), 0.95);
+  EXPECT_GT(s_prop.hit_rate(), 0.95);
+}
+
+TEST(TraceGen, OneAccessPerChunkInOrder) {
+  const auto g = geom();
+  const auto p = baseline_placement(g, 100);
+  const auto trace = streaming_read_trace(g, p, 100);
+  EXPECT_EQ(trace.size(), chunks_for_weights(g, 100));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].addr, p[i]);
+    EXPECT_EQ(trace[i].type, dram::AccessType::kRead);
+  }
+}
+
+TEST(TraceGen, MultiplePassesRepeat) {
+  const auto g = geom();
+  const auto p = baseline_placement(g, 64);
+  const auto trace = streaming_read_trace(g, p, 64, 3);
+  const std::size_t per_pass = chunks_for_weights(g, 64);
+  EXPECT_EQ(trace.size(), 3 * per_pass);
+  EXPECT_EQ(trace[0].addr, trace[per_pass].addr);
+}
+
+TEST(TraceGen, RejectsUndersizedPlacementAndZeroPasses) {
+  const auto g = geom();
+  const auto p = baseline_placement(g, 64);
+  EXPECT_THROW(streaming_read_trace(g, p, 1000), ContractViolation);
+  EXPECT_THROW(streaming_read_trace(g, p, 64, 0), ContractViolation);
+}
+
+class WeightCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WeightCounts, BaselineAndSparkXdAgreeOnChunkCount) {
+  const auto g = geom();
+  const error::SubarrayProfile profile(g, 1);
+  const auto n = GetParam();
+  const auto base = baseline_placement(g, n);
+  const auto prop = sparkxd_placement(g, profile, 1e-4, 1e-3, n);
+  EXPECT_EQ(base.size(), prop.chunks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(NetworkSizes, WeightCounts,
+                         ::testing::Values(784 * 400, 784 * 900, 784 * 1600,
+                                           784 * 2500, 784 * 3600));
+
+}  // namespace
+}  // namespace sparkxd::mapping

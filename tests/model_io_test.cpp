@@ -1,0 +1,104 @@
+// Tests for trained-model serialization (save_model / load_model).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "data/dataset.hpp"
+#include "snn/model_io.hpp"
+
+namespace sparkxd::snn {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "sparkxd_model_io_test.sxdm";
+    const auto all = data::make_dataset(data::Task::kDigits, 120, 3);
+    train_ = all.take(90);
+    test_ = all.drop(90);
+    NetworkConfig cfg;
+    cfg.n_neurons = 25;
+    cfg.timesteps = 30;
+    cfg.seed = 3;
+    Rng rng(3);
+    model_ = std::make_unique<TrainedModel>(
+        train_and_label(cfg, train_, test_, 1, rng));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  data::Dataset train_, test_;
+  std::unique_ptr<TrainedModel> model_;
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesEverything) {
+  save_model(*model_, path_);
+  const auto loaded = load_model(path_);
+  EXPECT_EQ(loaded.net.weights(), model_->net.weights());
+  EXPECT_EQ(loaded.net.thetas(), model_->net.thetas());
+  EXPECT_EQ(loaded.labels.label, model_->labels.label);
+  EXPECT_EQ(loaded.labels.bias, model_->labels.bias);
+  EXPECT_EQ(loaded.labels.num_classes, model_->labels.num_classes);
+  EXPECT_EQ(loaded.clean_accuracy, model_->clean_accuracy);
+  const auto& a = loaded.net.config();
+  const auto& b = model_->net.config();
+  EXPECT_EQ(a.n_inputs, b.n_inputs);
+  EXPECT_EQ(a.n_neurons, b.n_neurons);
+  EXPECT_EQ(a.timesteps, b.timesteps);
+  EXPECT_EQ(a.stdp.eta, b.stdp.eta);
+  EXPECT_EQ(a.lif.inhibition, b.lif.inhibition);
+}
+
+TEST_F(ModelIoTest, LoadedModelPredictsIdentically) {
+  save_model(*model_, path_);
+  auto loaded = load_model(path_);
+  Rng a(9), b(9);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(predict(loaded.net, loaded.labels, test_.images[i], a),
+              predict(model_->net, model_->labels, test_.images[i], b));
+}
+
+TEST_F(ModelIoTest, RejectsMissingFile) {
+  EXPECT_THROW((void)load_model("/nonexistent/dir/model.sxdm"),
+               ContractViolation);
+}
+
+TEST_F(ModelIoTest, RejectsBadMagic) {
+  std::ofstream os(path_, std::ios::binary);
+  os << "NOTAMODELFILE_____________________";
+  os.close();
+  EXPECT_THROW((void)load_model(path_), ContractViolation);
+}
+
+TEST_F(ModelIoTest, RejectsTruncatedFile) {
+  save_model(*model_, path_);
+  // Truncate to half size.
+  std::ifstream is(path_, std::ios::binary | std::ios::ate);
+  const auto full = static_cast<std::size_t>(is.tellg());
+  is.seekg(0);
+  std::vector<char> buf(full / 2);
+  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  is.close();
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  os.close();
+  EXPECT_THROW((void)load_model(path_), ContractViolation);
+}
+
+TEST_F(ModelIoTest, RejectsCorruptShape) {
+  save_model(*model_, path_);
+  // Corrupt the stored n_neurons field (offset: magic 4 + version 4 +
+  // n_inputs 8 = byte 16).
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(16);
+  const std::uint64_t bogus = 9999;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  EXPECT_THROW((void)load_model(path_), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sparkxd::snn

@@ -1,0 +1,251 @@
+// Tests for the LIF neuron layer: integration, leak, threshold/reset,
+// refractoriness, adaptive threshold (homeostasis), lateral inhibition and
+// the per-step winner-take-all.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "snn/lif.hpp"
+
+namespace sparkxd::snn {
+namespace {
+
+LifParams quiet_params() {
+  LifParams p;
+  p.inhibition = 0.0f;
+  p.winner_take_all = false;
+  return p;
+}
+
+TEST(Lif, IntegratesInputUntilThreshold) {
+  LifLayer layer(1, quiet_params(), 1.0f);
+  std::vector<float> current{0.3f};
+  std::vector<std::uint32_t> spikes;
+  int steps_to_spike = 0;
+  for (int t = 0; t < 50 && spikes.empty(); ++t) {
+    layer.step(current, spikes);
+    ++steps_to_spike;
+  }
+  ASSERT_EQ(spikes.size(), 1u);
+  // v accumulates ~0.3/step with mild leak: threshold 1.0 crossed around
+  // step 4.
+  EXPECT_GE(steps_to_spike, 3);
+  EXPECT_LE(steps_to_spike, 6);
+}
+
+TEST(Lif, NoInputNoSpikes) {
+  LifLayer layer(4, quiet_params(), 1.0f);
+  std::vector<float> current(4, 0.0f);
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 100; ++t) {
+    layer.step(current, spikes);
+    EXPECT_TRUE(spikes.empty());
+  }
+}
+
+TEST(Lif, SubthresholdInputNeverFires) {
+  // With leak, v converges to I / (1 - decay); keep that below threshold.
+  auto p = quiet_params();
+  p.tau_m_ms = 25.0f;  // decay ~0.9608 -> v_inf = I / 0.0392
+  LifLayer layer(1, p, 1.0f);
+  std::vector<float> current{0.03f};  // v_inf ~ 0.77 < 1.0
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 500; ++t) {
+    layer.step(current, spikes);
+    EXPECT_TRUE(spikes.empty());
+  }
+  EXPECT_LT(layer.potentials()[0], 1.0f);
+  EXPECT_GT(layer.potentials()[0], 0.7f);
+}
+
+TEST(Lif, ResetAfterSpike) {
+  LifLayer layer(1, quiet_params(), 1.0f);
+  std::vector<float> current{1.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(layer.potentials()[0], 0.0f);  // v_reset
+}
+
+TEST(Lif, RefractoryBlocksSpiking) {
+  auto p = quiet_params();
+  p.refractory_steps = 3;
+  LifLayer layer(1, p, 1.0f);
+  std::vector<float> current{5.0f};  // would fire every step otherwise
+  std::vector<std::uint32_t> spikes;
+  int fired = 0;
+  for (int t = 0; t < 12; ++t) {
+    layer.step(current, spikes);
+    fired += static_cast<int>(spikes.size());
+  }
+  // One spike then 3 silent steps -> every 4th step fires.
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Lif, LeakDecaysPotential) {
+  LifLayer layer(1, quiet_params(), 1.0f);
+  std::vector<float> current{0.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  const float v1 = layer.potentials()[0];
+  current[0] = 0.0f;
+  for (int t = 0; t < 20; ++t) layer.step(current, spikes);
+  EXPECT_LT(layer.potentials()[0], v1 * 0.6f);
+}
+
+TEST(Lif, ThetaGrowsPerSpikeWhenPlastic) {
+  auto p = quiet_params();
+  p.theta_plus = 0.1f;
+  p.refractory_steps = 0;
+  LifLayer layer(1, p, 1.0f);
+  std::vector<float> current{5.0f};
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 5; ++t) layer.step(current, spikes);
+  EXPECT_NEAR(layer.thetas()[0], 0.5f, 0.01f);
+}
+
+TEST(Lif, ThetaFrozenWhenNotPlastic) {
+  auto p = quiet_params();
+  p.theta_plus = 0.1f;
+  LifLayer layer(1, p, 1.0f);
+  layer.set_plastic(false);
+  std::vector<float> current{5.0f};
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 10; ++t) layer.step(current, spikes);
+  EXPECT_EQ(layer.thetas()[0], 0.0f);
+}
+
+TEST(Lif, ThetaRaisesEffectiveThreshold) {
+  auto p = quiet_params();
+  p.theta_plus = 100.0f;
+  LifLayer layer(1, p, 1.0f);
+  std::vector<float> current{1.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_EQ(spikes.size(), 1u);  // first spike
+  // Now theta = 100 -> needs v >= 101; current 1.5/step saturates at
+  // v_inf = 1.5 / (1 - exp(-1/25)) ~ 38, far below the raised threshold.
+  int fired = 0;
+  for (int t = 0; t < 200; ++t) {
+    layer.step(current, spikes);
+    fired += static_cast<int>(spikes.size());
+  }
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Lif, WinnerTakeAllSelectsLargestMargin) {
+  LifParams p;
+  p.winner_take_all = true;
+  p.inhibition = 0.0f;
+  LifLayer layer(3, p, 1.0f);
+  // All three cross threshold this step; neuron 1 by the largest margin.
+  std::vector<float> current{1.2f, 1.8f, 1.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0], 1u);
+}
+
+TEST(Lif, WinnerTakeAllDisabledAtInferenceWithoutCompete) {
+  LifParams p;
+  p.winner_take_all = true;
+  p.compete_at_inference = false;
+  p.inhibition = 5.0f;
+  LifLayer layer(3, p, 1.0f);
+  layer.set_plastic(false);
+  std::vector<float> current{1.2f, 1.8f, 1.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  EXPECT_EQ(spikes.size(), 3u);  // everyone fires independently
+}
+
+TEST(Lif, CompeteAtInferenceFlagRestoresWta) {
+  LifParams p;
+  p.winner_take_all = true;
+  p.compete_at_inference = true;
+  LifLayer layer(3, p, 1.0f);
+  layer.set_plastic(false);
+  std::vector<float> current{1.2f, 1.8f, 1.5f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  EXPECT_EQ(spikes.size(), 1u);
+}
+
+TEST(Lif, LateralInhibitionSuppressesOthers) {
+  LifParams p;
+  p.winner_take_all = true;
+  p.inhibition = 5.0f;
+  LifLayer layer(2, p, 1.0f);
+  // Neuron 0 fires; neuron 1 was close to threshold.
+  std::vector<float> current{1.5f, 0.9f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0], 0u);
+  EXPECT_LT(layer.potentials()[1], -3.0f);  // pushed far below rest
+}
+
+TEST(Lif, InhibitionFloorBoundsPotential) {
+  LifParams p;
+  p.winner_take_all = false;
+  p.inhibition = 100.0f;
+  LifLayer layer(2, p, 1.0f);
+  std::vector<float> current{1.5f, 0.0f};
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 20; ++t) layer.step(current, spikes);
+  EXPECT_GE(layer.potentials()[1], -5.0f - 1e-3f);
+}
+
+TEST(Lif, SpikerDoesNotInhibitItself) {
+  LifParams p;
+  p.winner_take_all = true;
+  p.inhibition = 5.0f;
+  LifLayer layer(2, p, 1.0f);
+  std::vector<float> current{1.5f, 0.0f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  // Winner is at v_reset + own-share refund = inhibition > 0 undone;
+  // it must be far above the suppressed neighbour.
+  EXPECT_GT(layer.potentials()[0], layer.potentials()[1] + 3.0f);
+}
+
+TEST(Lif, ResetDynamicsKeepsTheta) {
+  auto p = quiet_params();
+  p.theta_plus = 0.5f;
+  p.refractory_steps = 0;
+  LifLayer layer(1, p, 1.0f);
+  std::vector<float> current{5.0f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  ASSERT_GT(layer.thetas()[0], 0.0f);
+  const float theta = layer.thetas()[0];
+  layer.reset_dynamics();
+  EXPECT_EQ(layer.potentials()[0], 0.0f);
+  EXPECT_EQ(layer.thetas()[0], theta);
+  layer.reset_all();
+  EXPECT_EQ(layer.thetas()[0], 0.0f);
+}
+
+TEST(Lif, RejectsBadConstruction) {
+  EXPECT_THROW(LifLayer(0, LifParams{}, 1.0f), ContractViolation);
+  LifParams bad;
+  bad.tau_m_ms = 0.0f;
+  EXPECT_THROW(LifLayer(1, bad, 1.0f), ContractViolation);
+  LifParams inverted;
+  inverted.v_thresh = -1.0f;
+  inverted.v_reset = 0.0f;
+  EXPECT_THROW(LifLayer(1, inverted, 1.0f), ContractViolation);
+}
+
+TEST(Lif, RejectsMismatchedCurrentWidth) {
+  LifLayer layer(3, quiet_params(), 1.0f);
+  std::vector<float> current(2, 0.0f);
+  std::vector<std::uint32_t> spikes;
+  EXPECT_THROW(layer.step(current, spikes), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sparkxd::snn

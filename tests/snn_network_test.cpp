@@ -1,0 +1,265 @@
+// Tests for the full network and the trainer: initialization invariants,
+// normalization, learning/inference separation, labeling, prediction, and a
+// small end-to-end learning smoke test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "data/dataset.hpp"
+#include "snn/network.hpp"
+#include "snn/trainer.hpp"
+
+namespace sparkxd::snn {
+namespace {
+
+NetworkConfig tiny_config() {
+  NetworkConfig cfg;
+  cfg.n_inputs = 784;
+  cfg.n_neurons = 30;
+  cfg.timesteps = 40;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<float> bright_image(std::size_t n, float value = 0.8f) {
+  return std::vector<float>(n, value);
+}
+
+TEST(Network, InitialWeightsNormalized) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  const auto& w = net.weights();
+  ASSERT_EQ(w.size(), cfg.n_neurons * cfg.n_inputs);
+  for (std::size_t n = 0; n < cfg.n_neurons; ++n) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < cfg.n_inputs; ++i)
+      sum += w[n * cfg.n_inputs + i];
+    EXPECT_NEAR(sum, cfg.norm_target, 0.01f);
+  }
+  for (const float v : w) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Network, WeightInitDeterministicInSeed) {
+  auto cfg = tiny_config();
+  Network a(cfg), b(cfg);
+  EXPECT_EQ(a.weights(), b.weights());
+  cfg.seed = 8;
+  Network c(cfg);
+  EXPECT_NE(a.weights(), c.weights());
+}
+
+TEST(Network, NormalizeRowsRestoresTarget) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  for (auto& w : net.weights_mut()) w *= 3.0f;
+  net.normalize_rows();
+  const auto& w = net.weights();
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < cfg.n_inputs; ++i) sum += w[i];
+  EXPECT_NEAR(sum, cfg.norm_target, 0.01f);
+}
+
+TEST(Network, NormalizeSkipsZeroRows) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  for (std::size_t i = 0; i < cfg.n_inputs; ++i)
+    net.weights_mut()[i] = 0.0f;  // zero out neuron 0
+  net.normalize_rows();
+  for (std::size_t i = 0; i < cfg.n_inputs; ++i)
+    EXPECT_EQ(net.weights()[i], 0.0f);
+}
+
+TEST(Network, InferenceDoesNotChangeWeightsOrThetas) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  const auto w_before = net.weights();
+  const auto theta_before = net.thetas();
+  Rng rng(1);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/false, rng);
+  EXPECT_EQ(net.weights(), w_before);
+  EXPECT_EQ(net.thetas(), theta_before);
+}
+
+TEST(Network, LearningChangesWeights) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  const auto w_before = net.weights();
+  Rng rng(1);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/true, rng);
+  EXPECT_NE(net.weights(), w_before);
+}
+
+TEST(Network, LearningKeepsRowsNormalized) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng rng(1);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/true, rng);
+  const auto& w = net.weights();
+  for (std::size_t n = 0; n < cfg.n_neurons; ++n) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < cfg.n_inputs; ++i)
+      sum += w[n * cfg.n_inputs + i];
+    EXPECT_NEAR(sum, cfg.norm_target, 0.05f);
+  }
+}
+
+TEST(Network, SpikesProducedForBrightInput) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng rng(1);
+  const auto counts = net.process(bright_image(cfg.n_inputs), false, rng);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Network, NoSpikesForBlackInput) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng rng(1);
+  const auto counts =
+      net.process(std::vector<float>(cfg.n_inputs, 0.0f), false, rng);
+  for (const auto c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(Network, InferenceDeterministicGivenRngState) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng a(3), b(3);
+  const auto img = bright_image(cfg.n_inputs, 0.5f);
+  EXPECT_EQ(net.process(img, false, a), net.process(img, false, b));
+}
+
+TEST(Network, TrainingWithWtaProducesAtMostOneSpikePerStep) {
+  auto cfg = tiny_config();
+  cfg.lif.winner_take_all = true;
+  Network net(cfg);
+  Rng rng(2);
+  const auto counts = net.process(bright_image(cfg.n_inputs), true, rng);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_LE(total, cfg.timesteps);
+}
+
+TEST(Network, RejectsWrongImageSize) {
+  Network net(tiny_config());
+  Rng rng(1);
+  std::vector<float> wrong(10, 0.5f);
+  EXPECT_THROW(net.process(wrong, false, rng), ContractViolation);
+}
+
+TEST(Network, RejectsDegenerateConfig) {
+  auto cfg = tiny_config();
+  cfg.n_neurons = 0;
+  EXPECT_THROW(Network{cfg}, ContractViolation);
+  cfg = tiny_config();
+  cfg.timesteps = 0;
+  EXPECT_THROW(Network{cfg}, ContractViolation);
+  cfg = tiny_config();
+  cfg.norm_target = 0.0f;
+  EXPECT_THROW(Network{cfg}, ContractViolation);
+}
+
+// ------------------------------------------------------------------- trainer
+
+struct TrainedFixture : public ::testing::Test {
+  void SetUp() override {
+    all = data::make_dataset(data::Task::kDigits, 500, 42);
+    train = all.take(400);
+    test = all.drop(400);
+    NetworkConfig cfg;
+    cfg.n_neurons = 100;
+    cfg.seed = 42;
+    Rng rng(42);
+    model = std::make_unique<TrainedModel>(
+        train_and_label(cfg, train, test, 2, rng));
+  }
+  data::Dataset all, train, test;
+  std::unique_ptr<TrainedModel> model;
+};
+
+TEST_F(TrainedFixture, LearnsWellAboveChance) {
+  // 10 classes -> chance is 10%. The smoke bound is deliberately loose; the
+  // benches report the real accuracy.
+  EXPECT_GT(model->clean_accuracy, 0.5);
+}
+
+TEST_F(TrainedFixture, LabelsCoverMultipleClasses) {
+  std::set<std::int32_t> classes;
+  for (const auto l : model->labels.label)
+    if (l >= 0) classes.insert(l);
+  EXPECT_GE(classes.size(), 8u);
+}
+
+TEST_F(TrainedFixture, LabelsInRange) {
+  for (const auto l : model->labels.label) {
+    EXPECT_GE(l, -1);
+    EXPECT_LT(l, 10);
+  }
+  ASSERT_EQ(model->labels.bias.size(), model->labels.label.size());
+  for (const double b : model->labels.bias) EXPECT_GE(b, 0.0);
+}
+
+TEST_F(TrainedFixture, PredictReturnsValidClass) {
+  Rng rng(5);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto p = predict(model->net, model->labels, test.images[i], rng);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 10);
+  }
+}
+
+TEST_F(TrainedFixture, EvaluateIsMeanAccuracy) {
+  Rng rng(6);
+  const double acc = evaluate(model->net, model->labels, test, rng);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST_F(TrainedFixture, MoreTrainingDoesNotCollapse) {
+  Rng rng(7);
+  train_epoch(model->net, train, rng);
+  const auto labels = label_neurons(model->net, train, rng);
+  const double acc = evaluate(model->net, labels, test, rng);
+  EXPECT_GT(acc, 0.5);
+}
+
+TEST(Trainer, LargerNetworkAtLeastAsGood) {
+  // Paper Fig. 1a: larger models achieve higher accuracy (given data).
+  const auto all = data::make_dataset(data::Task::kDigits, 700, 11);
+  const auto train = all.take(550);
+  const auto test = all.drop(550);
+  NetworkConfig small, large;
+  small.n_neurons = 36;
+  small.seed = 11;
+  large.n_neurons = 225;
+  large.seed = 11;
+  Rng r1(11), r2(11);
+  const auto m_small = train_and_label(small, train, test, 2, r1);
+  const auto m_large = train_and_label(large, train, test, 2, r2);
+  EXPECT_GT(m_large.clean_accuracy, m_small.clean_accuracy - 0.02);
+}
+
+TEST(Trainer, RejectsMismatchedDataset) {
+  NetworkConfig cfg = tiny_config();
+  cfg.n_inputs = 100;  // not 784
+  Network net(cfg);
+  const auto ds = data::make_dataset(data::Task::kDigits, 10, 1);
+  Rng rng(1);
+  EXPECT_THROW(train_epoch(net, ds, rng), ContractViolation);
+}
+
+TEST(Trainer, EmptyDatasetRejectedForLabeling) {
+  Network net(tiny_config());
+  data::Dataset empty;
+  empty.num_classes = 10;
+  Rng rng(1);
+  EXPECT_THROW(label_neurons(net, empty, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sparkxd::snn
