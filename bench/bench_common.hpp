@@ -48,8 +48,9 @@ inline snn::NetworkConfig net_config(std::size_t neurons) {
 inline void banner(const char* experiment, const char* claim) {
   std::printf("\n### SparkXD reproduction — %s\n### paper claim: %s\n",
               experiment, claim);
-  std::printf("### scale=%.2f seed=%llu\n", workload_scale(),
-              static_cast<unsigned long long>(experiment_seed()));
+  std::printf("### scale=%.2f seed=%llu threads=%zu\n", workload_scale(),
+              static_cast<unsigned long long>(experiment_seed()),
+              thread_count());
 }
 
 }  // namespace sparkxd::bench

@@ -1,7 +1,9 @@
 #include "common/env.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
 
 #include "common/stats.hpp"
 
@@ -29,6 +31,13 @@ double workload_scale() {
 
 std::uint64_t experiment_seed() {
   return static_cast<std::uint64_t>(env_int("SPARKXD_SEED", 42));
+}
+
+std::size_t thread_count() {
+  const auto fallback = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const std::int64_t v = env_int("SPARKXD_THREADS", fallback);
+  return static_cast<std::size_t>(std::clamp<std::int64_t>(v, 1, 256));
 }
 
 std::size_t scaled(std::size_t base, std::size_t lo) {

@@ -8,6 +8,9 @@
 //                  *shapes* are stable across scales.
 // SPARKXD_CSV_DIR — when set, each Table additionally writes <name>.csv there.
 // SPARKXD_SEED   — global experiment seed (default 42).
+// SPARKXD_THREADS — worker threads for common/parallel (default: hardware
+//                  concurrency). 1 restores the fully serial path; results
+//                  are bit-identical at every setting.
 
 #include <cstdint>
 #include <string>
@@ -26,6 +29,11 @@ namespace sparkxd {
 
 /// The global experiment seed (SPARKXD_SEED, default 42).
 [[nodiscard]] std::uint64_t experiment_seed();
+
+/// Worker-thread count for parallel_for (SPARKXD_THREADS, default
+/// std::thread::hardware_concurrency(), clamped to [1, 256]). Read on every
+/// call, so tests may change the knob between runs.
+[[nodiscard]] std::size_t thread_count();
 
 /// max(lo, round(base * workload_scale())) — sizing helper for sample counts.
 [[nodiscard]] std::size_t scaled(std::size_t base, std::size_t lo = 1);

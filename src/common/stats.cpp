@@ -44,12 +44,18 @@ double stddev(const std::vector<double>& v) noexcept {
 double percentile(std::vector<double> v, double p) {
   SPARKXD_REQUIRE(!v.empty(), "percentile of empty sample");
   SPARKXD_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
-  std::sort(v.begin(), v.end());
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  // Partial selection instead of a full sort: place element lo, then the
+  // upper neighbour (if interpolation needs it) is the minimum of the tail.
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(lo),
+                   v.end());
+  const double v_lo = v[lo];
+  if (frac <= 0.0 || lo + 1 >= v.size()) return v_lo;
+  const double v_hi = *std::min_element(
+      v.begin() + static_cast<std::ptrdiff_t>(lo) + 1, v.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
@@ -80,9 +86,11 @@ double interp(const std::vector<double>& xs, const std::vector<double>& ys,
               double x) {
   SPARKXD_REQUIRE(xs.size() == ys.size() && !xs.empty(),
                   "interp needs equal-sized non-empty tables");
+  SPARKXD_REQUIRE(std::is_sorted(xs.begin(), xs.end()),
+                  "interp needs xs sorted ascending");
   if (x <= xs.front()) return ys.front();
   if (x >= xs.back()) return ys.back();
-  // xs is sorted ascending; find the bracketing segment.
+  // Find the bracketing segment.
   const auto it = std::upper_bound(xs.begin(), xs.end(), x);
   const auto i = static_cast<std::size_t>(it - xs.begin());
   const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);

@@ -46,6 +46,7 @@ class RunningStat {
 [[nodiscard]] double clamp(double x, double lo, double hi) noexcept;
 
 /// Linear interpolation in a sorted (x, y) table with end-point clamping.
+/// Requires xs sorted ascending (contract-checked).
 [[nodiscard]] double interp(const std::vector<double>& xs,
                             const std::vector<double>& ys, double x);
 

@@ -3,23 +3,43 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace sparkxd::core {
 
-double evaluate_corrupted(snn::Network& net, const snn::NeuronLabels& labels,
+double evaluate_corrupted(const snn::Network& net,
+                          const snn::NeuronLabels& labels,
                           const error::ErrorInjector& injector, double ber,
                           const data::Dataset& test, Rng& rng,
                           std::size_t trials, float weight_clip) {
   SPARKXD_REQUIRE(trials >= 1, "need at least one evaluation trial");
-  const std::vector<float> snapshot = net.weights();
   const error::SanitizeRange sanitize{net.config().stdp.w_min, weight_clip};
+  // One parent draw keys this call's trial substreams: every trial owns an
+  // independent Rng pair and a private corrupted copy of the network, so
+  // trials run concurrently and the mean is bit-identical at any thread
+  // count. Injection and evaluation draw from *separate* substreams
+  // (common random numbers): the spike trains are then identical across
+  // BERs for the same parent state, so accuracy differences measure the
+  // injected errors, not resampling noise.
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<double> accs(trials, 0.0);
+  const std::vector<float>& snapshot = net.weights();
+  parallel_for_chunks(
+      trials, [&](std::size_t begin, std::size_t end, std::size_t) {
+        // One full network copy per worker; between trials only the weights
+        // need restoring (injection touches nothing else, and evaluation
+        // leaves weights and thetas alone).
+        snn::Network scratch = net;
+        for (std::size_t t = begin; t < end; ++t) {
+          Rng inject_rng(hash_combine(stream, 2 * t));
+          Rng eval_rng(hash_combine(stream, 2 * t + 1));
+          if (t != begin) scratch.weights_mut() = snapshot;
+          injector.inject(scratch.weights_mut(), ber, inject_rng, sanitize);
+          accs[t] = snn::evaluate(scratch, labels, test, eval_rng);
+        }
+      });
   double acc_sum = 0.0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    net.weights_mut() = snapshot;
-    injector.inject(net.weights_mut(), ber, rng, sanitize);
-    acc_sum += snn::evaluate(net, labels, test, rng);
-  }
-  net.weights_mut() = snapshot;
+  for (const double a : accs) acc_sum += a;
   return acc_sum / static_cast<double>(trials);
 }
 
@@ -80,7 +100,7 @@ FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
   return result;
 }
 
-ToleranceAnalysis analyze_tolerance(snn::Network& net,
+ToleranceAnalysis analyze_tolerance(const snn::Network& net,
                                     const snn::NeuronLabels& labels,
                                     const error::ErrorInjector& injector,
                                     const std::vector<double>& rates,

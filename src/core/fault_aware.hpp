@@ -66,11 +66,15 @@ struct FaultAwareResult {
   std::vector<TolerancePoint> stage_curve;  ///< accuracy after each stage
 };
 
-/// Evaluates a model with weights corrupted at `ber` through `injector`
-/// (weights are snapshotted and restored). Averages `trials` fresh error
-/// draws. `weight_clip` is the load-time range clip applied to corrupted
-/// values.
-[[nodiscard]] double evaluate_corrupted(snn::Network& net,
+/// Evaluates a model with weights corrupted at `ber` through `injector`.
+/// Averages `trials` fresh error draws; trials run concurrently (see
+/// common/parallel), each on its own corrupted copy of the network with its
+/// own Rng substream keyed off one draw from `rng`, so the result is
+/// deterministic in `rng`'s state and identical at every thread count.
+/// `net` is untouched (const — required for the concurrent per-voltage
+/// sweep to share one trained model). `weight_clip` is the load-time range
+/// clip applied to corrupted values.
+[[nodiscard]] double evaluate_corrupted(const snn::Network& net,
                                         const snn::NeuronLabels& labels,
                                         const error::ErrorInjector& injector,
                                         double ber, const data::Dataset& test,
@@ -96,7 +100,7 @@ struct ToleranceAnalysis {
 };
 
 [[nodiscard]] ToleranceAnalysis analyze_tolerance(
-    snn::Network& net, const snn::NeuronLabels& labels,
+    const snn::Network& net, const snn::NeuronLabels& labels,
     const error::ErrorInjector& injector, const std::vector<double>& rates,
     double target_accuracy, const data::Dataset& test, Rng& rng,
     std::size_t trials = 1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "dram/controller.hpp"
 #include "snn/trainer.hpp"
 
@@ -72,7 +73,15 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   report.baseline_time_ns = base_te.stats.total_time_ns;
 
   // --- Per-voltage: Algorithm 2 mapping + accuracy + energy. ---------------
-  for (const double v : cfg.voltages) {
+  // Voltages are independent given the trained model, so the sweep runs
+  // concurrently: each voltage forks its own Rng stream from the sweep index
+  // and fills its own report slot, keeping the report bit-identical at every
+  // SPARKXD_THREADS setting.
+  report.per_voltage.resize(cfg.voltages.size());
+  const Rng sweep_rng = rng;
+  parallel_for(cfg.voltages.size(), [&](std::size_t vi) {
+    const double v = cfg.voltages[vi];
+    Rng vrng = sweep_rng.fork(vi);
     VoltageReport row;
     row.v_supply = v;
     row.module_ber = ber_model.ber(v);
@@ -104,7 +113,7 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
         cfg.seed, std::max(row.module_ber, 1e-12));
     row.accuracy = evaluate_corrupted(
         fa.improved.net, fa.improved.labels, eval_injector, row.module_ber,
-        test, rng, cfg.fault_training.eval_trials,
+        test, vrng, cfg.fault_training.eval_trials,
         cfg.fault_training.weight_clip);
 
     // Energy + throughput of the SparkXD mapping at this voltage.
@@ -118,8 +127,8 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
                       ? report.baseline_time_ns / te.stats.total_time_ns
                       : 1.0;
     row.row_hit_rate = te.stats.hit_rate();
-    report.per_voltage.push_back(row);
-  }
+    report.per_voltage[vi] = row;
+  });
   return report;
 }
 

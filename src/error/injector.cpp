@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace sparkxd::error {
 
@@ -56,78 +57,97 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
                   "Model-3 flip probabilities must be probabilities");
   if (max_ber == 0.0 || n_payload_bytes == 0) return;
 
-  // Lazily-built stripe multiplier caches (Model-1 / Model-2 only).
+  // Stripe multipliers (Model-1 / Model-2) are recomputed on demand from a
+  // deterministic per-stripe hash: the flat stripe id is the same index a
+  // full `n_banks x bitlines` / `n_banks x rows` table would use, so the
+  // values are identical to an eager table without the millions of
+  // lognormal draws for stripes the payload never touches.
   const std::uint64_t bitline_count =
       std::uint64_t{geometry.columns_per_row} * geometry.column_bytes * 8;
-  std::vector<double> bitline_mult;   // [bank_id * bitlines + bitline]
-  std::vector<double> wordline_mult;  // [bank_id * rows + bank_row]
-  const std::uint64_t n_banks = std::uint64_t{geometry.channels} *
-                                geometry.ranks_per_channel *
-                                geometry.chips_per_rank *
-                                geometry.banks_per_chip;
-  if (spec.kind == ErrorModelKind::kModel1Bitline) {
-    bitline_mult.resize(n_banks * bitline_count);
-    for (std::uint64_t i = 0; i < bitline_mult.size(); ++i)
-      bitline_mult[i] =
-          stripe_multiplier(hash_combine(seed, 0xB17ULL), i, spec.stripe_sigma);
-  } else if (spec.kind == ErrorModelKind::kModel2Wordline) {
-    wordline_mult.resize(n_banks * geometry.rows_per_bank());
-    for (std::uint64_t i = 0; i < wordline_mult.size(); ++i)
-      wordline_mult[i] = stripe_multiplier(hash_combine(seed, 0x30BDULL), i,
-                                           spec.stripe_sigma);
-  }
+  const std::uint64_t bitline_seed = hash_combine(seed, 0xB17ULL);
+  const std::uint64_t wordline_seed = hash_combine(seed, 0x30BDULL);
 
   const std::uint64_t cell_seed = hash_combine(seed, 0xCE11ULL);
   const double threshold = 2.0 * max_ber;
   const std::uint32_t column_bits = geometry.column_bytes * 8;
 
-  for (std::size_t c = 0; c < placement.size(); ++c) {
-    const std::size_t first_byte = c * chunk_bytes;
-    if (first_byte >= n_payload_bytes) break;
-    const std::size_t last_byte =
-        std::min(first_byte + chunk_bytes, n_payload_bytes);
-    dram::Address addr = placement[c];
-    const std::uint64_t sub_id = subarray_id(geometry, addr);
-    const double sub_weak = profile.weakness(sub_id);
-    const std::uint64_t bank = bank_id(geometry, addr);
-    const std::uint32_t brow = bank_row(geometry, addr);
+  // Candidate enumeration is pure per chunk (stateless hashes, no shared
+  // Rng), so chunks are scanned concurrently into per-range buffers;
+  // concatenating the buffers in range order restores ascending chunk order
+  // regardless of the thread count.
+  const std::size_t n_chunks = std::min(
+      placement.size(), (n_payload_bytes + chunk_bytes - 1) / chunk_bytes);
+  const std::size_t n_parts = parallel_chunk_count(n_chunks);
+  std::vector<std::vector<Candidate>> parts(n_parts);
+  const auto enumerate = [&](std::size_t chunk_begin,
+                             std::size_t chunk_end, std::size_t slot) {
+    std::vector<Candidate>& out = parts[slot];
+    for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+      const std::size_t first_byte = c * chunk_bytes;
+      const std::size_t last_byte =
+          std::min(first_byte + chunk_bytes, n_payload_bytes);
+      dram::Address addr = placement[c];
+      const std::uint64_t sub_id = subarray_id(geometry, addr);
+      const double sub_weak = profile.weakness(sub_id);
+      const std::uint64_t bank = bank_id(geometry, addr);
+      const std::uint32_t brow = bank_row(geometry, addr);
+      // A chunk lives in one row, so its wordline multiplier is one stripe.
+      const double wordline_mult =
+          spec.kind == ErrorModelKind::kModel2Wordline
+              ? stripe_multiplier(wordline_seed,
+                                  bank * geometry.rows_per_bank() + brow,
+                                  spec.stripe_sigma)
+              : 1.0;
 
-    for (std::size_t b = first_byte; b < last_byte; ++b) {
-      const auto offset = static_cast<std::uint32_t>(b - first_byte);
-      addr.column = placement[c].column + offset / geometry.column_bytes;
-      const std::uint32_t byte_in_column =
-          (offset % geometry.column_bytes) * 8;
-      for (std::uint32_t bit = 0; bit < 8; ++bit) {
-        const std::uint32_t bit_in_column = byte_in_column + bit;
-        // Per-cell weakness multiplier under the active model.
-        double m = sub_weak;
-        switch (spec.kind) {
-          case ErrorModelKind::kModel0Uniform:
-          case ErrorModelKind::kModel3DataDependent:
-            break;  // uniform within the subarray
-          case ErrorModelKind::kModel1Bitline:
-            m *= bitline_mult[bank * bitline_count +
-                              std::uint64_t{addr.column} * column_bits +
-                              bit_in_column];
-            break;
-          case ErrorModelKind::kModel2Wordline:
-            m *= wordline_mult[bank * geometry.rows_per_bank() + brow];
-            break;
+      for (std::size_t b = first_byte; b < last_byte; ++b) {
+        const auto offset = static_cast<std::uint32_t>(b - first_byte);
+        addr.column = placement[c].column + offset / geometry.column_bytes;
+        const std::uint32_t byte_in_column =
+            (offset % geometry.column_bytes) * 8;
+        for (std::uint32_t bit = 0; bit < 8; ++bit) {
+          const std::uint32_t bit_in_column = byte_in_column + bit;
+          // Per-cell weakness multiplier under the active model.
+          double m = sub_weak;
+          switch (spec.kind) {
+            case ErrorModelKind::kModel0Uniform:
+            case ErrorModelKind::kModel3DataDependent:
+              break;  // uniform within the subarray
+            case ErrorModelKind::kModel1Bitline:
+              m *= stripe_multiplier(
+                  bitline_seed,
+                  bank * bitline_count +
+                      std::uint64_t{addr.column} * column_bits +
+                      bit_in_column,
+                  spec.stripe_sigma);
+              break;
+            case ErrorModelKind::kModel2Wordline:
+              m *= wordline_mult;
+              break;
+          }
+          if (m <= 0.0) continue;
+          const std::uint64_t cell =
+              cell_bit_index(geometry, addr, bit_in_column);
+          const double score = cell_score(cell_seed, cell) / m;
+          if (score < threshold)
+            out.push_back({static_cast<std::uint32_t>(b),
+                           static_cast<std::uint8_t>(bit), score});
         }
-        if (m <= 0.0) continue;
-        const std::uint64_t cell =
-            cell_bit_index(geometry, addr, bit_in_column);
-        const double score = cell_score(cell_seed, cell) / m;
-        if (score < threshold)
-          candidates_.push_back({static_cast<std::uint32_t>(b),
-                                 static_cast<std::uint8_t>(bit), score});
       }
     }
-  }
-  // Sort by score so injection at lower BERs touches a stable prefix.
+  };
+  // Pass n_parts explicitly: the chunk count must match the buffer sizing
+  // above even if the thread knob changes between the two reads.
+  parallel_for_chunks(n_chunks, enumerate, n_parts);
+  for (const auto& part : parts)
+    candidates_.insert(candidates_.end(), part.begin(), part.end());
+  // Sort by score so injection at lower BERs touches a stable prefix; break
+  // score ties by cell position so the order is fully specified.
   std::sort(candidates_.begin(), candidates_.end(),
             [](const Candidate& a, const Candidate& b) {
-              return a.score < b.score;
+              if (a.score != b.score) return a.score < b.score;
+              return a.byte_index != b.byte_index
+                         ? a.byte_index < b.byte_index
+                         : a.bit < b.bit;
             });
 }
 

@@ -21,8 +21,9 @@
 // byte granularity, so the same machinery corrupts FP32 weights
 // (inject / inject_all_weak) and quantized int8 weights or any other byte
 // payload (inject_bytes). For performance, candidates are pre-enumerated
-// once per placement up to a maximum BER; injecting at any lower BER is a
-// linear pass over that (small) candidate list.
+// once per placement up to a maximum BER (concurrently across chunks — the
+// enumeration is stateless hashing, see common/parallel); injecting at any
+// lower BER is a linear pass over that (small) candidate list.
 
 #include <cstdint>
 #include <vector>

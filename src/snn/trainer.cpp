@@ -1,8 +1,10 @@
 #include "snn/trainer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace sparkxd::snn {
 
@@ -85,15 +87,59 @@ std::int32_t predict(Network& net, const NeuronLabels& labels,
   return best_c;
 }
 
-double evaluate(Network& net, const NeuronLabels& labels,
+namespace {
+
+/// Scores samples [begin, end) on `scratch`, one forked Rng per sample.
+void score_span(Network& scratch, const NeuronLabels& labels,
+                const data::Dataset& ds, std::uint64_t stream,
+                std::size_t begin, std::size_t end,
+                std::vector<std::uint8_t>& correct) {
+  for (std::size_t i = begin; i < end; ++i) {
+    Rng sample_rng(hash_combine(stream, i));
+    correct[i] = predict(scratch, labels, ds.images[i], sample_rng) ==
+                 static_cast<std::int32_t>(ds.labels[i]);
+  }
+}
+
+double accuracy_of(const std::vector<std::uint8_t>& correct) {
+  std::size_t n_correct = 0;
+  for (const std::uint8_t c : correct) n_correct += c;
+  return static_cast<double>(n_correct) / static_cast<double>(correct.size());
+}
+
+}  // namespace
+
+double evaluate(const Network& net, const NeuronLabels& labels,
                 const data::Dataset& ds, Rng& rng) {
   SPARKXD_REQUIRE(ds.size() > 0, "cannot evaluate on an empty dataset");
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < ds.size(); ++i)
-    if (predict(net, labels, ds.images[i], rng) ==
-        static_cast<std::int32_t>(ds.labels[i]))
-      ++correct;
-  return static_cast<double>(correct) / static_cast<double>(ds.size());
+  // Inference is per-sample independent (process() resets the membrane
+  // dynamics and learn=false leaves weights untouched), so samples are
+  // scored concurrently: each chunk runs on a private network copy and each
+  // sample forks its spike-train Rng from one parent draw, making the
+  // accuracy bit-identical at every thread count.
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<std::uint8_t> correct(ds.size(), 0);
+  parallel_for_chunks(
+      ds.size(), [&](std::size_t begin, std::size_t end, std::size_t) {
+        Network local = net;
+        score_span(local, labels, ds, stream, begin, end, correct);
+      });
+  return accuracy_of(correct);
+}
+
+double evaluate(Network& net, const NeuronLabels& labels,
+                const data::Dataset& ds, Rng& rng) {
+  // Scratch overload: when no fan-out will happen (serial knob, or nested
+  // inside a parallel region as in the Monte-Carlo trials), score on the
+  // caller's network in place instead of copying it again — same streams,
+  // identical result. Only transient membrane state is disturbed.
+  if (parallel_chunk_count(ds.size()) > 1)
+    return evaluate(std::as_const(net), labels, ds, rng);
+  SPARKXD_REQUIRE(ds.size() > 0, "cannot evaluate on an empty dataset");
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<std::uint8_t> correct(ds.size(), 0);
+  score_span(net, labels, ds, stream, 0, ds.size(), correct);
+  return accuracy_of(correct);
 }
 
 TrainedModel train_and_label(const NetworkConfig& cfg,

@@ -44,7 +44,19 @@ void train_epoch(Network& net, const data::Dataset& ds, Rng& rng);
 [[nodiscard]] std::int32_t predict(Network& net, const NeuronLabels& labels,
                                    const std::vector<float>& image, Rng& rng);
 
-/// Fraction of correctly classified samples (inference mode).
+/// Fraction of correctly classified samples (inference mode). Samples are
+/// scored concurrently on private network copies (see common/parallel);
+/// each sample's spike trains fork from one draw of `rng`, so the result is
+/// deterministic and thread-count independent. `net` is untouched (const),
+/// which is what lets concurrent sweeps share one trained model.
+[[nodiscard]] double evaluate(const Network& net, const NeuronLabels& labels,
+                              const data::Dataset& ds, Rng& rng);
+
+/// Scratch overload: identical result, but when no fan-out will happen
+/// (serial knob, or already nested in a parallel region) it scores on `net`
+/// in place instead of copying — use when the caller owns a private copy
+/// (e.g. per-trial corrupted networks). Transient membrane state is
+/// disturbed; weights and thetas are not.
 [[nodiscard]] double evaluate(Network& net, const NeuronLabels& labels,
                               const data::Dataset& ds, Rng& rng);
 

@@ -65,22 +65,37 @@ TEST_F(FaultAwareFixture, EvaluateCorruptedRestoresWeights) {
 }
 
 TEST_F(FaultAwareFixture, EvaluateCorruptedZeroBerEqualsClean) {
-  Rng a(2), b(2);
+  // At BER 0 no bits flip, so the result must be reproducible per seed,
+  // independent of which injector produced it, and equal to the clean
+  // accuracy up to spike-train sampling noise (injection and evaluation use
+  // separate Rng substreams, so the clean reference uses its own stream).
+  Rng a(2), b(2), c(2);
   const double clean =
       snn::evaluate(state->baseline->net, state->baseline->labels,
                     state->test, a);
   const double corrupted =
       evaluate_corrupted(state->baseline->net, state->baseline->labels,
                          *state->injector, 0.0, state->test, b);
-  EXPECT_DOUBLE_EQ(clean, corrupted);
+  const double again =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, 0.0, state->test, c);
+  EXPECT_DOUBLE_EQ(corrupted, again);
+  EXPECT_NEAR(clean, corrupted, 0.05);
 }
 
 TEST_F(FaultAwareFixture, HighBerDegradesBaseline) {
-  Rng rng(3);
+  // Common random numbers: with same-seeded parents the BER-0 and BER-1e-3
+  // evaluations see identical spike trains, so the comparison isolates the
+  // effect of the injected errors (small upward flukes from lucky flips
+  // are still possible, hence the slack).
+  Rng zero_rng(3), high_rng(3);
+  const double uncorrupted =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, 0.0, state->test, zero_rng, 2);
   const double corrupted =
       evaluate_corrupted(state->baseline->net, state->baseline->labels,
-                         *state->injector, 1e-3, state->test, rng, 2);
-  EXPECT_LT(corrupted, state->baseline->clean_accuracy + 0.02);
+                         *state->injector, 1e-3, state->test, high_rng, 2);
+  EXPECT_LT(corrupted, uncorrupted + 0.02);
 }
 
 TEST_F(FaultAwareFixture, RejectsZeroTrials) {

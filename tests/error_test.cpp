@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "common/bits.hpp"
@@ -134,6 +135,35 @@ TEST(Injector, WeakSetsAreNestedAcrossBer) {
     prev = flips;
   }
   EXPECT_GT(prev, 0u);
+}
+
+TEST(Injector, FlippedCellsAtLowerBerAreSubsetOfHigherBer) {
+  // Prefix stability of the sorted candidate list: the exact cells flipped
+  // at BER b1 < b2 must be a subset of those flipped at b2, not merely
+  // fewer. Zeroed weights + a clamp range wider than any single-flip value
+  // (max 2^127) make the resulting bit pattern the exact weak-cell mask.
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  const SanitizeRange wide{-3.4e38f, 3.4e38f};
+  const auto mask_at = [&](double ber) {
+    std::vector<float> w(f.n_weights, 0.0f);
+    inj.inject_all_weak(w, ber, wide);
+    std::vector<std::uint32_t> bits(f.n_weights);
+    for (std::size_t i = 0; i < f.n_weights; ++i)
+      bits[i] = float_to_bits(w[i]);
+    return bits;
+  };
+  const auto low = mask_at(1e-5);
+  const auto high = mask_at(1e-3);
+  std::size_t low_bits = 0, high_bits = 0;
+  for (std::size_t i = 0; i < f.n_weights; ++i) {
+    EXPECT_EQ(low[i] & high[i], low[i]) << "weight " << i;
+    low_bits += static_cast<std::size_t>(std::popcount(low[i]));
+    high_bits += static_cast<std::size_t>(std::popcount(high[i]));
+  }
+  EXPECT_GT(low_bits, 0u);
+  EXPECT_GT(high_bits, low_bits);
 }
 
 TEST(Injector, SameSeedSameWeakCells) {
