@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecc.dir/bench/ablation_ecc.cpp.o"
+  "CMakeFiles/ablation_ecc.dir/bench/ablation_ecc.cpp.o.d"
+  "ablation_ecc"
+  "ablation_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_models.dir/bench/ablation_error_models.cpp.o"
+  "CMakeFiles/ablation_error_models.dir/bench/ablation_error_models.cpp.o.d"
+  "ablation_error_models"
+  "ablation_error_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

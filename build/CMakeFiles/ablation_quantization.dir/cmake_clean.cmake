@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantization.dir/bench/ablation_quantization.cpp.o"
+  "CMakeFiles/ablation_quantization.dir/bench/ablation_quantization.cpp.o.d"
+  "ablation_quantization"
+  "ablation_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

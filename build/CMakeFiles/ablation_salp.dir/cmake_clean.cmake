@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_salp.dir/bench/ablation_salp.cpp.o"
+  "CMakeFiles/ablation_salp.dir/bench/ablation_salp.cpp.o.d"
+  "ablation_salp"
+  "ablation_salp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_salp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

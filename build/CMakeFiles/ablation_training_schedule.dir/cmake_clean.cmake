@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_schedule.dir/bench/ablation_training_schedule.cpp.o"
+  "CMakeFiles/ablation_training_schedule.dir/bench/ablation_training_schedule.cpp.o.d"
+  "ablation_training_schedule"
+  "ablation_training_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

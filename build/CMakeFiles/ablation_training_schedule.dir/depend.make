@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_training_schedule.
+# This may be replaced when dependencies are built.

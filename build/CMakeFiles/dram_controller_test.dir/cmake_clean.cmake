@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_controller_test.dir/tests/dram_controller_test.cpp.o"
+  "CMakeFiles/dram_controller_test.dir/tests/dram_controller_test.cpp.o.d"
+  "dram_controller_test"
+  "dram_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

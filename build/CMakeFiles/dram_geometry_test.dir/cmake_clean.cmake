@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_geometry_test.dir/tests/dram_geometry_test.cpp.o"
+  "CMakeFiles/dram_geometry_test.dir/tests/dram_geometry_test.cpp.o.d"
+  "dram_geometry_test"
+  "dram_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_deployment.dir/examples/edge_deployment.cpp.o"
+  "CMakeFiles/edge_deployment.dir/examples/edge_deployment.cpp.o.d"
+  "edge_deployment"
+  "edge_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

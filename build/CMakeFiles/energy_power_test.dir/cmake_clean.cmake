@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_power_test.dir/tests/energy_power_test.cpp.o"
+  "CMakeFiles/energy_power_test.dir/tests/energy_power_test.cpp.o.d"
+  "energy_power_test"
+  "energy_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_voltage_test.dir/tests/energy_voltage_test.cpp.o"
+  "CMakeFiles/energy_voltage_test.dir/tests/energy_voltage_test.cpp.o.d"
+  "energy_voltage_test"
+  "energy_voltage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_voltage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

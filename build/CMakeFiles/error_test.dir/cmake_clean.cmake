@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_test.dir/tests/error_test.cpp.o"
+  "CMakeFiles/error_test.dir/tests/error_test.cpp.o.d"
+  "error_test"
+  "error_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

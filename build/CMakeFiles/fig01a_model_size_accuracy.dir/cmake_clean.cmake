@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_model_size_accuracy.dir/bench/fig01a_model_size_accuracy.cpp.o"
+  "CMakeFiles/fig01a_model_size_accuracy.dir/bench/fig01a_model_size_accuracy.cpp.o.d"
+  "fig01a_model_size_accuracy"
+  "fig01a_model_size_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_model_size_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

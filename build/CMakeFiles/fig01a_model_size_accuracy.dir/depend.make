@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01a_model_size_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_platform_breakdown.dir/bench/fig01b_platform_breakdown.cpp.o"
+  "CMakeFiles/fig01b_platform_breakdown.dir/bench/fig01b_platform_breakdown.cpp.o.d"
+  "fig01b_platform_breakdown"
+  "fig01b_platform_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_platform_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

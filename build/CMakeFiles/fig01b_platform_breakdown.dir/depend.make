@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01b_platform_breakdown.
+# This may be replaced when dependencies are built.

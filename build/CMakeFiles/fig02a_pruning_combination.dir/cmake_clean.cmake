@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_pruning_combination.dir/bench/fig02a_pruning_combination.cpp.o"
+  "CMakeFiles/fig02a_pruning_combination.dir/bench/fig02a_pruning_combination.cpp.o.d"
+  "fig02a_pruning_combination"
+  "fig02a_pruning_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_pruning_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

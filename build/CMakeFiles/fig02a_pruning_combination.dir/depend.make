@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02a_pruning_combination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_access_energy.dir/bench/fig02b_access_energy.cpp.o"
+  "CMakeFiles/fig02b_access_energy.dir/bench/fig02b_access_energy.cpp.o.d"
+  "fig02b_access_energy"
+  "fig02b_access_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_access_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

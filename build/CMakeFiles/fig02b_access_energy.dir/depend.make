@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02b_access_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02c_ber_voltage.dir/bench/fig02c_ber_voltage.cpp.o"
+  "CMakeFiles/fig02c_ber_voltage.dir/bench/fig02c_ber_voltage.cpp.o.d"
+  "fig02c_ber_voltage"
+  "fig02c_ber_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02c_ber_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02c_ber_voltage.
+# This may be replaced when dependencies are built.

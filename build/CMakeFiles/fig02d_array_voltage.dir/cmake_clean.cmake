@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02d_array_voltage.dir/bench/fig02d_array_voltage.cpp.o"
+  "CMakeFiles/fig02d_array_voltage.dir/bench/fig02d_array_voltage.cpp.o.d"
+  "fig02d_array_voltage"
+  "fig02d_array_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02d_array_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

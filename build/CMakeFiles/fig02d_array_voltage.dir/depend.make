@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02d_array_voltage.
+# This may be replaced when dependencies are built.

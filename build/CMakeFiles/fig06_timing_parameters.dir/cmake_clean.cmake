@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_timing_parameters.dir/bench/fig06_timing_parameters.cpp.o"
+  "CMakeFiles/fig06_timing_parameters.dir/bench/fig06_timing_parameters.cpp.o.d"
+  "fig06_timing_parameters"
+  "fig06_timing_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_timing_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_timing_parameters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tolerance_analysis.dir/bench/fig08_tolerance_analysis.cpp.o"
+  "CMakeFiles/fig08_tolerance_analysis.dir/bench/fig08_tolerance_analysis.cpp.o.d"
+  "fig08_tolerance_analysis"
+  "fig08_tolerance_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tolerance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

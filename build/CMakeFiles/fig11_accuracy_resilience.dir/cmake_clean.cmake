@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy_resilience.dir/bench/fig11_accuracy_resilience.cpp.o"
+  "CMakeFiles/fig11_accuracy_resilience.dir/bench/fig11_accuracy_resilience.cpp.o.d"
+  "fig11_accuracy_resilience"
+  "fig11_accuracy_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

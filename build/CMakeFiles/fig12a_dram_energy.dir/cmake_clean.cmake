@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_dram_energy.dir/bench/fig12a_dram_energy.cpp.o"
+  "CMakeFiles/fig12a_dram_energy.dir/bench/fig12a_dram_energy.cpp.o.d"
+  "fig12a_dram_energy"
+  "fig12a_dram_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_dram_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12a_dram_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_speedup.dir/bench/fig12b_speedup.cpp.o"
+  "CMakeFiles/fig12b_speedup.dir/bench/fig12b_speedup.cpp.o.d"
+  "fig12b_speedup"
+  "fig12b_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

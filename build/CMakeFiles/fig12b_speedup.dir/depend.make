@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12b_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_inspector.dir/examples/mapping_inspector.cpp.o"
+  "CMakeFiles/mapping_inspector.dir/examples/mapping_inspector.cpp.o.d"
+  "mapping_inspector"
+  "mapping_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

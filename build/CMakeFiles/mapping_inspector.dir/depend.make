@@ -1,0 +1,2 @@
+# Empty dependencies file for mapping_inspector.
+# This may be replaced when dependencies are built.

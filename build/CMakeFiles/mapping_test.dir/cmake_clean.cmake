@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_test.dir/tests/mapping_test.cpp.o"
+  "CMakeFiles/mapping_test.dir/tests/mapping_test.cpp.o.d"
+  "mapping_test"
+  "mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

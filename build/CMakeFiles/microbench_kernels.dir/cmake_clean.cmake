@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_kernels.dir/bench/microbench_kernels.cpp.o"
+  "CMakeFiles/microbench_kernels.dir/bench/microbench_kernels.cpp.o.d"
+  "microbench_kernels"
+  "microbench_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

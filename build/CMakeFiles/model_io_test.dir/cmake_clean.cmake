@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_io_test.dir/tests/model_io_test.cpp.o"
+  "CMakeFiles/model_io_test.dir/tests/model_io_test.cpp.o.d"
+  "model_io_test"
+  "model_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_lifecycle.dir/examples/model_lifecycle.cpp.o"
+  "CMakeFiles/model_lifecycle.dir/examples/model_lifecycle.cpp.o.d"
+  "model_lifecycle"
+  "model_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

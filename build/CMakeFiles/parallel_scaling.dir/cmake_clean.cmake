@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scaling.dir/bench/parallel_scaling.cpp.o"
+  "CMakeFiles/parallel_scaling.dir/bench/parallel_scaling.cpp.o.d"
+  "parallel_scaling"
+  "parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_test.dir/tests/parallel_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/tests/parallel_test.cpp.o.d"
+  "parallel_test"
+  "parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_ext_test.dir/tests/resilience_ext_test.cpp.o"
+  "CMakeFiles/resilience_ext_test.dir/tests/resilience_ext_test.cpp.o.d"
+  "resilience_ext_test"
+  "resilience_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for resilience_ext_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_lif_test.dir/tests/snn_lif_test.cpp.o"
+  "CMakeFiles/snn_lif_test.dir/tests/snn_lif_test.cpp.o.d"
+  "snn_lif_test"
+  "snn_lif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_lif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

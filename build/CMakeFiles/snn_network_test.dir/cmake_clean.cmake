@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_network_test.dir/tests/snn_network_test.cpp.o"
+  "CMakeFiles/snn_network_test.dir/tests/snn_network_test.cpp.o.d"
+  "snn_network_test"
+  "snn_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_stdp_test.dir/tests/snn_stdp_test.cpp.o"
+  "CMakeFiles/snn_stdp_test.dir/tests/snn_stdp_test.cpp.o.d"
+  "snn_stdp_test"
+  "snn_stdp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_stdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "CMakeFiles/sparkxd.dir/src/common/env.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/common/env.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "CMakeFiles/sparkxd.dir/src/common/parallel.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/common/parallel.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/sparkxd.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/sparkxd.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/sparkxd.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/fault_aware.cpp" "CMakeFiles/sparkxd.dir/src/core/fault_aware.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/core/fault_aware.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/sparkxd.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/data/canvas.cpp" "CMakeFiles/sparkxd.dir/src/data/canvas.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/data/canvas.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/sparkxd.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "CMakeFiles/sparkxd.dir/src/dram/controller.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/geometry.cpp" "CMakeFiles/sparkxd.dir/src/dram/geometry.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/dram/geometry.cpp.o.d"
+  "/root/repo/src/energy/ber_model.cpp" "CMakeFiles/sparkxd.dir/src/energy/ber_model.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/energy/ber_model.cpp.o.d"
+  "/root/repo/src/energy/platform_model.cpp" "CMakeFiles/sparkxd.dir/src/energy/platform_model.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/energy/platform_model.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "CMakeFiles/sparkxd.dir/src/energy/power_model.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/voltage_model.cpp" "CMakeFiles/sparkxd.dir/src/energy/voltage_model.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/energy/voltage_model.cpp.o.d"
+  "/root/repo/src/error/ecc.cpp" "CMakeFiles/sparkxd.dir/src/error/ecc.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/error/ecc.cpp.o.d"
+  "/root/repo/src/error/injector.cpp" "CMakeFiles/sparkxd.dir/src/error/injector.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/error/injector.cpp.o.d"
+  "/root/repo/src/error/subarray_profile.cpp" "CMakeFiles/sparkxd.dir/src/error/subarray_profile.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/error/subarray_profile.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "CMakeFiles/sparkxd.dir/src/mapping/mapping.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/mapping/mapping.cpp.o.d"
+  "/root/repo/src/snn/encoding.cpp" "CMakeFiles/sparkxd.dir/src/snn/encoding.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/encoding.cpp.o.d"
+  "/root/repo/src/snn/lif.cpp" "CMakeFiles/sparkxd.dir/src/snn/lif.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/lif.cpp.o.d"
+  "/root/repo/src/snn/model_io.cpp" "CMakeFiles/sparkxd.dir/src/snn/model_io.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/model_io.cpp.o.d"
+  "/root/repo/src/snn/network.cpp" "CMakeFiles/sparkxd.dir/src/snn/network.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/network.cpp.o.d"
+  "/root/repo/src/snn/quant.cpp" "CMakeFiles/sparkxd.dir/src/snn/quant.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/quant.cpp.o.d"
+  "/root/repo/src/snn/stdp.cpp" "CMakeFiles/sparkxd.dir/src/snn/stdp.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/stdp.cpp.o.d"
+  "/root/repo/src/snn/trainer.cpp" "CMakeFiles/sparkxd.dir/src/snn/trainer.cpp.o" "gcc" "CMakeFiles/sparkxd.dir/src/snn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

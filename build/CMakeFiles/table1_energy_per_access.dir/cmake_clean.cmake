@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_energy_per_access.dir/bench/table1_energy_per_access.cpp.o"
+  "CMakeFiles/table1_energy_per_access.dir/bench/table1_energy_per_access.cpp.o.d"
+  "table1_energy_per_access"
+  "table1_energy_per_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_energy_per_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

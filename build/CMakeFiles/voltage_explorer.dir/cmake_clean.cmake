@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_explorer.dir/examples/voltage_explorer.cpp.o"
+  "CMakeFiles/voltage_explorer.dir/examples/voltage_explorer.cpp.o.d"
+  "voltage_explorer"
+  "voltage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
