@@ -1,0 +1,198 @@
+// sparkxd_run — scenario matrix CLI.
+//
+// Enumerates, filters, and executes the built-in evaluation scenarios
+// (src/scenario) and serializes their PipelineReports to the stable JSON
+// report format. The --digest output is the compact fixed-precision digest
+// the golden-report regression harness locks down (tests/golden/), so CI can
+// diff a fresh run against the checked-in digest.
+//
+//   sparkxd_run --list [--filter SUBSTR]
+//   sparkxd_run --scenario NAME [--scenario NAME2 ...] [--threads N]
+//               [--out report.json] [--digest]
+//   sparkxd_run --filter smoke --threads 8 --out report.json
+//   sparkxd_run --all
+//
+// Exit codes: 0 success, 2 bad usage / unknown scenario.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "scenario/matrix.hpp"
+#include "scenario/runner.hpp"
+
+namespace {
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: sparkxd_run [options]\n"
+      "  --list             list matching scenarios and exit\n"
+      "  --scenario NAME    run this scenario (repeatable, exact name)\n"
+      "  --filter SUBSTR    select scenarios whose name contains SUBSTR\n"
+      "  --all              select every built-in scenario\n"
+      "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
+      "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
+      "  --digest           print golden digests of the results to stdout\n"
+      "                     (mutually exclusive with --out -)\n"
+      "  --help             this message\n"
+      "\nWith no selection option, --list shows every scenario; running\n"
+      "requires an explicit --scenario/--filter/--all selection.\n");
+}
+
+void list_scenarios(const std::vector<sparkxd::scenario::Scenario>& all) {
+  std::printf("%-28s %-13s %8s %6s %-10s %-6s %s\n", "name", "task",
+              "neurons", "volts", "geometry", "model", "description");
+  for (const auto& s : all) {
+    std::printf("%-28s %-13s %8zu %6zu %-10s %-6s %s\n", s.name.c_str(),
+                sparkxd::data::to_string(s.task), s.n_neurons,
+                s.voltages.size(), s.salp ? "salp" : "commodity",
+                sparkxd::scenario::model_label(s.error_model.kind),
+                s.description.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparkxd;
+
+  bool list = false, all = false, want_digest = false;
+  std::vector<std::string> names;
+  std::vector<std::string> filters;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sparkxd_run: %s needs an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--digest") {
+      want_digest = true;
+    } else if (arg == "--scenario") {
+      names.emplace_back(next("--scenario"));
+    } else if (arg == "--filter") {
+      filters.emplace_back(next("--filter"));
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--threads") {
+      const char* n = next("--threads");
+      if (std::atoll(n) < 1) {
+        std::fprintf(stderr, "sparkxd_run: --threads wants a count >= 1\n");
+        return 2;
+      }
+      ::setenv("SPARKXD_THREADS", n, 1);
+    } else {
+      std::fprintf(stderr, "sparkxd_run: unknown option '%s'\n",
+                   std::string(arg).c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  if (want_digest && out_path == "-") {
+    std::fprintf(stderr,
+                 "sparkxd_run: --digest and --out - both write stdout and "
+                 "would interleave; write the report to a file instead\n");
+    return 2;
+  }
+
+  // --- Selection. ----------------------------------------------------------
+  std::vector<scenario::Scenario> selected;
+  const auto add_unique = [&](const scenario::Scenario& s) {
+    for (const auto& have : selected)
+      if (have.name == s.name) return;
+    selected.push_back(s);
+  };
+  if (all) {
+    for (const auto& s : scenario::builtin_scenarios()) add_unique(s);
+  }
+  for (const auto& name : names) {
+    const auto* s = scenario::find_scenario(name);
+    if (s == nullptr) {
+      std::fprintf(stderr,
+                   "sparkxd_run: unknown scenario '%s' (see --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    add_unique(*s);
+  }
+  for (const auto& f : filters) {
+    const auto matches = scenario::match_scenarios(f);
+    if (matches.empty()) {
+      std::fprintf(stderr, "sparkxd_run: --filter '%s' matches nothing\n",
+                   f.c_str());
+      return 2;
+    }
+    for (const auto& s : matches) add_unique(s);
+  }
+
+  if (list) {
+    list_scenarios(selected.empty() ? scenario::builtin_scenarios()
+                                    : selected);
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "sparkxd_run: nothing selected — use --scenario, --filter, "
+                 "or --all (or --list to browse)\n");
+    return 2;
+  }
+
+  // --- Run. ----------------------------------------------------------------
+  // Human-readable progress goes to stderr so --digest / --out - stdout
+  // output stays machine-diffable.
+  std::fprintf(stderr, "running %zu scenario(s) with %zu thread(s)\n",
+               selected.size(), thread_count());
+  const auto results = scenario::run_scenarios(selected);
+  for (const auto& r : results) {
+    const auto& low = r.report.per_voltage.back();
+    std::fprintf(stderr,
+                 "  %-28s baseline=%.3f improved=%.3f ber_th=%.1e "
+                 "saving@%.3fV=%.1f%% speedup=%.2fx\n",
+                 r.scenario.name.c_str(), r.report.baseline_accuracy,
+                 r.report.improved_accuracy, r.report.ber_th, low.v_supply,
+                 low.saving_pct, low.speedup);
+  }
+
+  // --- Serialize. ----------------------------------------------------------
+  if (!out_path.empty()) {
+    const std::string doc = scenario::to_json(results);
+    if (out_path == "-") {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "sparkxd_run: cannot open '%s'\n",
+                     out_path.c_str());
+        return 2;
+      }
+      out << doc;
+      out.close();
+      if (!out) {
+        std::fprintf(stderr, "sparkxd_run: write to '%s' failed\n",
+                     out_path.c_str());
+        return 2;
+      }
+    }
+  }
+  if (want_digest) {
+    for (const auto& r : results) std::fputs(scenario::digest(r).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "common/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  SPARKXD_ENSURE(res.ec == std::errc{}, "double did not fit the buffer");
+  return std::string(buf.data(), res.ptr);
+}
+
+void Writer::newline_indent(std::size_t depth) {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * depth, ' ');
+}
+
+void Writer::prepare_value() {
+  if (stack_.empty()) {
+    SPARKXD_REQUIRE(!root_written_,
+                    "JSON document already holds a top-level value");
+    root_written_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.is_array) {
+    if (!top.empty) out_ += ',';
+    newline_indent(stack_.size());
+    top.empty = false;
+  } else {
+    SPARKXD_REQUIRE(have_key_, "object values need a key() first");
+    have_key_ = false;
+    top.empty = false;
+  }
+}
+
+Writer& Writer::begin_object() {
+  prepare_value();
+  stack_.push_back({/*is_array=*/false, /*empty=*/true});
+  out_ += '{';
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  SPARKXD_REQUIRE(!stack_.empty() && !stack_.back().is_array,
+                  "end_object without a matching begin_object");
+  SPARKXD_REQUIRE(!have_key_, "dangling key() before end_object");
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent(stack_.size());
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  prepare_value();
+  stack_.push_back({/*is_array=*/true, /*empty=*/true});
+  out_ += '[';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  SPARKXD_REQUIRE(!stack_.empty() && stack_.back().is_array,
+                  "end_array without a matching begin_array");
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent(stack_.size());
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  SPARKXD_REQUIRE(!stack_.empty() && !stack_.back().is_array,
+                  "key() is only valid inside an object");
+  SPARKXD_REQUIRE(!have_key_, "key() called twice without a value");
+  Level& top = stack_.back();
+  if (!top.empty) out_ += ',';
+  newline_indent(stack_.size());
+  out_ += '"';
+  out_ += escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  have_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  prepare_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  prepare_value();
+  out_ += number(v);
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  prepare_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::null() {
+  prepare_value();
+  out_ += "null";
+  return *this;
+}
+
+bool Writer::complete() const {
+  return stack_.empty() && root_written_ && !have_key_;
+}
+
+}  // namespace sparkxd::json

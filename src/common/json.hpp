@@ -1,0 +1,87 @@
+#pragma once
+// Minimal, dependency-free JSON *writer* for scenario reports.
+//
+// The scenario runner's regression harness diffs emitted reports byte for
+// byte (1 thread vs N threads, run vs golden digest), so the serialization
+// must be stable: keys appear in insertion order, numbers are formatted
+// with std::to_chars (shortest round-trip form, locale-independent), and
+// indentation is fixed at two spaces. There is deliberately no parser —
+// nothing in the framework consumes JSON; external tooling does.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sparkxd::json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added): backslash, quote, and control characters below 0x20.
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `v` via std::to_chars. NaN and
+/// infinities are not representable in JSON and become "null".
+[[nodiscard]] std::string number(double v);
+
+/// Streaming writer with contract-checked nesting.
+///
+///   Writer w;
+///   w.begin_object()
+///       .field("name", "digits-small")
+///       .key("voltages").begin_array().value(1.25).value(1.1).end_array()
+///   .end_object();
+///   std::string doc = w.str();
+class Writer {
+ public:
+  /// `pretty` = newline + 2-space indentation; false = single line.
+  explicit Writer(bool pretty = true) : pretty_(pretty) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits the key of the next value; only valid directly inside an object.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v);
+  Writer& value(bool v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  Writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once every begin_ has been matched by its end_ and a single
+  /// top-level value has been written.
+  [[nodiscard]] bool complete() const;
+
+  /// The document so far; callers should check complete() first.
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  struct Level {
+    bool is_array = false;
+    bool empty = true;
+  };
+
+  void prepare_value();  ///< comma/indent bookkeeping before any value
+  void newline_indent(std::size_t depth);
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool pretty_ = true;
+  bool have_key_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace sparkxd::json

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
@@ -9,13 +10,39 @@
 
 namespace sparkxd::core {
 
+void PipelineConfig::validate() const {
+  SPARKXD_REQUIRE(train_samples > 0, "need at least one training sample");
+  SPARKXD_REQUIRE(test_samples > 0, "need at least one test sample");
+  SPARKXD_REQUIRE(network.n_inputs > 0 && network.n_neurons > 0,
+                  "network must have inputs and neurons");
+  SPARKXD_REQUIRE(!fault_training.ber_stages.empty(),
+                  "fault-training schedule needs at least one BER stage");
+  for (std::size_t i = 0; i < fault_training.ber_stages.size(); ++i) {
+    const double b = fault_training.ber_stages[i];
+    SPARKXD_REQUIRE(std::isfinite(b) && b > 0.0 && b < 1.0,
+                    "BER stages must lie in (0, 1)");
+    SPARKXD_REQUIRE(i == 0 || fault_training.ber_stages[i - 1] < b,
+                    "BER stages must be strictly ascending");
+  }
+  SPARKXD_REQUIRE(!voltages.empty(),
+                  "voltage grid is empty — need at least one supply voltage");
+  for (std::size_t i = 0; i < voltages.size(); ++i) {
+    SPARKXD_REQUIRE(std::isfinite(voltages[i]) && voltages[i] > 0.0,
+                    "supply voltages must be positive and finite");
+    SPARKXD_REQUIRE(i == 0 || voltages[i - 1] > voltages[i],
+                    "voltage grid must be strictly descending "
+                    "(paper order, 1.325 V down to 1.025 V)");
+  }
+  geometry.validate();
+}
+
 TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
                                  const error::ChunkPlacement& placement,
                                  std::size_t n_weights, double v_supply,
                                  const energy::VoltageModel& vm,
-                                 const energy::PowerModel& pm) {
+                                 const energy::PowerModel& pm, bool salp) {
   const auto timing = vm.derive_timings(v_supply);
-  dram::Controller controller(geometry, timing);
+  dram::Controller controller(geometry, timing, salp);
   const auto trace =
       mapping::streaming_read_trace(geometry, placement, n_weights);
   TraceEnergy te;
@@ -25,7 +52,7 @@ TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
 }
 
 PipelineReport run_pipeline(const PipelineConfig& cfg) {
-  SPARKXD_REQUIRE(!cfg.voltages.empty(), "need at least one supply voltage");
+  cfg.validate();
   Rng rng(cfg.seed);
   PipelineReport report;
 
@@ -119,7 +146,7 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
     // Energy + throughput of the SparkXD mapping at this voltage.
     const auto te = weight_stream_energy(cfg.geometry, placement.chunks,
                                          n_weights, v, voltage_model,
-                                         power_model);
+                                         power_model, cfg.salp);
     row.energy_nj = te.energy.total_nj();
     row.saving_pct =
         100.0 * (1.0 - row.energy_nj / report.baseline_energy_nj);

@@ -34,10 +34,21 @@ struct PipelineConfig {
   /// Supply voltages to evaluate (paper: 1.325 .. 1.025 V).
   std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
   dram::Geometry geometry = dram::Geometry::lpddr3_4gb();
+  /// Per-subarray row buffers (SALP, §IV-D / Putra et al. [14]) for the
+  /// SparkXD mapping's evaluation. The accurate-DRAM baseline reference is
+  /// always the conventional commodity module (one row buffer per bank).
+  bool salp = false;
   error::ErrorModelSpec error_model;  ///< Model-0 by default (paper §III)
   std::uint64_t seed = 42;
   /// Lognormal spread of per-subarray error rates.
   double subarray_sigma = 0.8;
+
+  /// Validates the configuration; throws ContractViolation with a specific
+  /// message on the first problem found. Checks sample counts, the BER
+  /// stage schedule (non-empty, positive, strictly ascending), the voltage
+  /// grid (non-empty, finite, positive, strictly descending — the paper's
+  /// 1.325 → 1.025 V presentation order), and the DRAM geometry.
+  void validate() const;
 };
 
 /// Per-voltage evaluation row (one bar group of Fig. 12a / 12b).
@@ -84,6 +95,6 @@ struct TraceEnergy {
     const dram::Geometry& geometry, const error::ChunkPlacement& placement,
     std::size_t n_weights, double v_supply,
     const energy::VoltageModel& vm = energy::VoltageModel{},
-    const energy::PowerModel& pm = energy::PowerModel{});
+    const energy::PowerModel& pm = energy::PowerModel{}, bool salp = false);
 
 }  // namespace sparkxd::core

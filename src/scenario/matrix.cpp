@@ -1,0 +1,71 @@
+#include "scenario/matrix.hpp"
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::scenario {
+
+namespace {
+
+std::string task_label(data::Task t) {
+  return t == data::Task::kDigits ? "digits" : "fashion";
+}
+
+void require_named(const std::string& name, const char* axis) {
+  SPARKXD_REQUIRE(!name.empty(),
+                  std::string("unnamed ") + axis + " axis value");
+}
+
+}  // namespace
+
+std::size_t ScenarioMatrix::size() const noexcept {
+  return tasks.size() * sizes.size() * geometries.size() *
+         error_models.size() * voltage_grids.size() * seeds.size();
+}
+
+std::vector<Scenario> ScenarioMatrix::expand() const {
+  SPARKXD_REQUIRE(!tasks.empty(), "matrix task axis is empty");
+  SPARKXD_REQUIRE(!sizes.empty(), "matrix size axis is empty");
+  SPARKXD_REQUIRE(!geometries.empty(), "matrix geometry axis is empty");
+  SPARKXD_REQUIRE(!error_models.empty(), "matrix error-model axis is empty");
+  SPARKXD_REQUIRE(!voltage_grids.empty(), "matrix voltage-grid axis is empty");
+  SPARKXD_REQUIRE(!seeds.empty(), "matrix seed axis is empty");
+  for (const auto& s : sizes) require_named(s.name, "size");
+  for (const auto& g : geometries) require_named(g.name, "geometry");
+  for (const auto& m : error_models) require_named(m.name, "error-model");
+  for (const auto& v : voltage_grids) require_named(v.name, "voltage-grid");
+
+  std::vector<Scenario> out;
+  out.reserve(size());
+  for (const auto task : tasks)
+    for (const auto& size : sizes)
+      for (const auto& geom : geometries)
+        for (const auto& model : error_models)
+          for (const auto& grid : voltage_grids)
+            for (const auto seed : seeds) {
+              Scenario s;
+              s.name = task_label(task) + "-" + size.name + "-" + geom.name +
+                       "-" + model.name;
+              if (voltage_grids.size() > 1) s.name += "-" + grid.name;
+              if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
+              s.description = task_label(task) + " task, " +
+                              std::to_string(size.n_neurons) + " neurons, " +
+                              geom.name + " DRAM, error model " + model.name;
+              s.task = task;
+              s.n_neurons = size.n_neurons;
+              s.train_samples = size.train_samples;
+              s.test_samples = size.test_samples;
+              s.baseline_epochs = size.baseline_epochs;
+              s.ber_stages = ber_stages;
+              s.eval_trials = eval_trials;
+              s.geometry = geom.geometry;
+              s.salp = geom.salp;
+              s.error_model = model.spec;
+              s.voltages = grid.voltages;
+              s.seed = seed;
+              s.validate();
+              out.push_back(std::move(s));
+            }
+  return out;
+}
+
+}  // namespace sparkxd::scenario

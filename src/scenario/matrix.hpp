@@ -1,0 +1,76 @@
+#pragma once
+// Cross-product expansion of scenario axes.
+//
+// A ScenarioMatrix names a list of values per evaluation axis (task, network
+// size, DRAM organization, error model, voltage grid, seed) and expands to
+// the full cross product of Scenarios with deterministic names and ordering
+// — the programmatic way to build the paper's Fig. 11/12 grids, the built-in
+// registry, and ad-hoc sweeps (bench/scenario_matrix).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace sparkxd::scenario {
+
+/// Network-size axis value: neuron count plus the data budget that makes it
+/// trainable on this host (bench_common keeps samples roughly proportional
+/// to capacity; sizes here follow the same rule).
+struct SizeSpec {
+  std::string name;  ///< e.g. "small"
+  std::size_t n_neurons = 64;
+  std::size_t train_samples = 250;
+  std::size_t test_samples = 100;
+  std::size_t baseline_epochs = 1;
+};
+
+/// DRAM-organization axis value.
+struct GeometrySpec {
+  std::string name;  ///< e.g. "commodity", "salp"
+  dram::Geometry geometry = dram::Geometry::lpddr3_4gb();
+  bool salp = false;
+};
+
+/// Error-model axis value.
+struct ErrorModelAxis {
+  std::string name;  ///< e.g. "m0"
+  error::ErrorModelSpec spec;
+};
+
+/// Voltage-grid axis value (strictly descending voltages). Defaults to the
+/// paper's five-point grid.
+struct VoltageGridSpec {
+  std::string name = "v5";
+  std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
+};
+
+/// Axis lists plus the shared knobs every expanded scenario inherits.
+/// expand() iterates tasks (outermost), sizes, geometries, error models,
+/// voltage grids, seeds (innermost) and names each cell
+/// "<task>-<size>-<geometry>-<model>", appending "-<grid>" when the grid
+/// axis has more than one value and "-s<seed>" when the seed axis does, so
+/// single-valued axes keep names short and multi-valued axes keep them
+/// unique.
+struct ScenarioMatrix {
+  std::vector<data::Task> tasks = {data::Task::kDigits};
+  std::vector<SizeSpec> sizes;
+  std::vector<GeometrySpec> geometries;
+  std::vector<ErrorModelAxis> error_models;
+  std::vector<VoltageGridSpec> voltage_grids = {VoltageGridSpec{}};
+  std::vector<std::uint64_t> seeds = {42};
+
+  /// Shared (non-axis) knobs.
+  std::vector<double> ber_stages = {1e-5, 1e-3};
+  std::size_t eval_trials = 1;
+
+  /// Number of scenarios expand() will produce (product of axis sizes).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// The cross product. Throws ContractViolation if any axis is empty or an
+  /// axis value is unnamed; every produced scenario passes validate().
+  [[nodiscard]] std::vector<Scenario> expand() const;
+};
+
+}  // namespace sparkxd::scenario

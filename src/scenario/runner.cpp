@@ -1,0 +1,152 @@
+#include "scenario/runner.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "common/contracts.hpp"
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "data/dataset.hpp"
+#include "error/error_model.hpp"
+
+namespace sparkxd::scenario {
+
+namespace {
+
+/// Fixed/scientific formatting via std::to_chars — like snprintf %.*f/%.*e
+/// but immune to LC_NUMERIC, matching the locale-independence guarantee of
+/// the JSON path (a comma decimal point would silently break every golden
+/// digest comparison).
+std::string fmt(std::chars_format format, int precision, double v) {
+  std::array<char, 64> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v,
+                                 format, precision);
+  SPARKXD_ENSURE(res.ec == std::errc{}, "double did not fit the buffer");
+  return std::string(buf.data(), res.ptr);
+}
+
+std::string fixed(int precision, double v) {
+  return fmt(std::chars_format::fixed, precision, v);
+}
+
+std::string sci(int precision, double v) {
+  return fmt(std::chars_format::scientific, precision, v);
+}
+
+void write_config(json::Writer& w, const Scenario& s) {
+  w.key("config").begin_object();
+  w.field("task", data::to_string(s.task));
+  w.field("neurons", s.n_neurons);
+  w.field("train_samples", s.train_samples);
+  w.field("test_samples", s.test_samples);
+  w.field("baseline_epochs", s.baseline_epochs);
+  w.key("ber_stages").begin_array();
+  for (const double b : s.ber_stages) w.value(b);
+  w.end_array();
+  w.field("eval_trials", s.eval_trials);
+  w.key("geometry").begin_object();
+  w.field("banks_per_chip", s.geometry.banks_per_chip);
+  w.field("subarrays_per_bank", s.geometry.subarrays_per_bank);
+  w.field("rows_per_subarray", s.geometry.rows_per_subarray);
+  w.field("columns_per_row", s.geometry.columns_per_row);
+  w.field("salp", s.salp);
+  w.end_object();
+  w.field("error_model", error::to_string(s.error_model.kind));
+  w.key("voltages").begin_array();
+  for (const double v : s.voltages) w.value(v);
+  w.end_array();
+  w.field("seed", s.seed);
+  w.end_object();
+}
+
+void write_report(json::Writer& w, const core::PipelineReport& r) {
+  w.key("report").begin_object();
+  w.field("baseline_accuracy", r.baseline_accuracy);
+  w.field("improved_accuracy", r.improved_accuracy);
+  w.field("ber_th", r.ber_th);
+  w.field("met_target", r.met_target);
+  w.field("baseline_energy_nj", r.baseline_energy_nj);
+  w.field("baseline_time_ns", r.baseline_time_ns);
+  w.key("stage_curve").begin_array();
+  for (const auto& p : r.stage_curve) {
+    w.begin_object();
+    w.field("ber", p.ber);
+    w.field("accuracy", p.accuracy);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("per_voltage").begin_array();
+  for (const auto& v : r.per_voltage) {
+    w.begin_object();
+    w.field("v_supply", v.v_supply);
+    w.field("module_ber", v.module_ber);
+    w.field("accuracy", v.accuracy);
+    w.field("energy_nj", v.energy_nj);
+    w.field("saving_pct", v.saving_pct);
+    w.field("speedup", v.speedup);
+    w.field("row_hit_rate", v.row_hit_rate);
+    w.field("safe_subarrays", v.safe_subarrays);
+    w.field("capacity_relaxed", v.capacity_relaxed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<Scenario>& scenarios) {
+  for (const auto& s : scenarios) s.validate();
+  std::vector<ScenarioResult> results(scenarios.size());
+  parallel_for(scenarios.size(), [&](std::size_t i) {
+    results[i].scenario = scenarios[i];
+    results[i].report = core::run_pipeline(scenarios[i].pipeline_config());
+  });
+  return results;
+}
+
+std::string to_json(const std::vector<ScenarioResult>& results) {
+  json::Writer w;
+  w.begin_object();
+  w.field("schema", "sparkxd-report-v1");
+  w.key("scenarios").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.field("name", r.scenario.name);
+    w.field("description", r.scenario.description);
+    write_config(w, r.scenario);
+    write_report(w, r.report);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  SPARKXD_ENSURE(w.complete(), "report serialization left JSON unbalanced");
+  return w.str() + "\n";
+}
+
+std::string digest(const ScenarioResult& result) {
+  const auto& r = result.report;
+  std::string d;
+  d += "scenario=" + result.scenario.name + "\n";
+  d += "baseline_accuracy=" + fixed(6, r.baseline_accuracy) + "\n";
+  d += "improved_accuracy=" + fixed(6, r.improved_accuracy) + "\n";
+  d += "ber_th=" + sci(3, r.ber_th) + "\n";
+  d += std::string("met_target=") + (r.met_target ? "1" : "0") + "\n";
+  d += "baseline_energy_nj=" + sci(6, r.baseline_energy_nj) + "\n";
+  d += "baseline_time_ns=" + sci(6, r.baseline_time_ns) + "\n";
+  for (const auto& v : r.per_voltage) {
+    d += "v=" + fixed(3, v.v_supply);
+    d += " ber=" + sci(3, v.module_ber);
+    d += " acc=" + fixed(6, v.accuracy);
+    d += " energy_nj=" + sci(6, v.energy_nj);
+    d += " saving_pct=" + fixed(4, v.saving_pct);
+    d += " speedup=" + fixed(4, v.speedup);
+    d += " hit_rate=" + fixed(6, v.row_hit_rate);
+    d += " safe=" + std::to_string(v.safe_subarrays);
+    d += std::string(" relaxed=") + (v.capacity_relaxed ? "1" : "0") + "\n";
+  }
+  return d;
+}
+
+}  // namespace sparkxd::scenario

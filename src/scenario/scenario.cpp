@@ -1,0 +1,154 @@
+#include "scenario/scenario.hpp"
+
+#include "common/contracts.hpp"
+#include "scenario/matrix.hpp"
+
+namespace sparkxd::scenario {
+
+core::PipelineConfig Scenario::pipeline_config() const {
+  core::PipelineConfig cfg;
+  cfg.task = task;
+  cfg.network.n_neurons = n_neurons;
+  cfg.network.seed = seed;
+  cfg.train_samples = train_samples;
+  cfg.test_samples = test_samples;
+  cfg.baseline_epochs = baseline_epochs;
+  cfg.fault_training.ber_stages = ber_stages;
+  cfg.fault_training.eval_trials = eval_trials;
+  cfg.geometry = geometry;
+  cfg.salp = salp;
+  cfg.error_model = error_model;
+  cfg.voltages = voltages;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void Scenario::validate() const {
+  SPARKXD_REQUIRE(!name.empty(), "scenario name must not be empty");
+  for (const char c : name) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    SPARKXD_REQUIRE(ok, "scenario name '" + name +
+                            "' must use only [a-z0-9-] characters");
+  }
+  pipeline_config().validate();
+}
+
+const char* model_label(error::ErrorModelKind kind) noexcept {
+  switch (kind) {
+    case error::ErrorModelKind::kModel0Uniform:
+      return "m0";
+    case error::ErrorModelKind::kModel1Bitline:
+      return "m1";
+    case error::ErrorModelKind::kModel2Wordline:
+      return "m2";
+    case error::ErrorModelKind::kModel3DataDependent:
+      return "m3";
+  }
+  return "m?";
+}
+
+namespace {
+
+error::ErrorModelSpec model_spec(error::ErrorModelKind kind) {
+  error::ErrorModelSpec spec;
+  spec.kind = kind;
+  return spec;
+}
+
+/// The two golden-locked smoke scenarios: sized like the determinism tests'
+/// tiny config so a full run costs ~0.25 s, with a trimmed voltage grid.
+Scenario smoke_digits_m0() {
+  Scenario s;
+  s.name = "smoke-digits-m0";
+  s.description =
+      "tiny digits net, commodity DRAM, Model-0 — golden-locked smoke run";
+  s.n_neurons = 25;
+  s.train_samples = 100;
+  s.test_samples = 50;
+  s.baseline_epochs = 1;
+  s.ber_stages = {1e-5, 1e-3};
+  s.eval_trials = 2;
+  s.voltages = {1.250, 1.100, 1.025};
+  return s;
+}
+
+Scenario smoke_fashion_salp_m1() {
+  Scenario s;
+  s.name = "smoke-fashion-salp-m1";
+  s.description =
+      "tiny fashion net, SALP DRAM, Model-1 — golden-locked smoke run";
+  s.task = data::Task::kFashion;
+  s.n_neurons = 25;
+  s.train_samples = 100;
+  s.test_samples = 50;
+  s.baseline_epochs = 1;
+  s.ber_stages = {1e-5, 1e-3};
+  s.eval_trials = 2;
+  s.salp = true;
+  s.error_model = model_spec(error::ErrorModelKind::kModel1Bitline);
+  s.voltages = {1.250, 1.100, 1.025};
+  return s;
+}
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> all;
+  all.push_back(smoke_digits_m0());
+  all.push_back(smoke_fashion_salp_m1());
+
+  const SizeSpec small{"small", 64, 250, 100, 1};
+  const SizeSpec medium{"medium", 100, 400, 150, 2};
+  const GeometrySpec commodity{"commodity", dram::Geometry::lpddr3_4gb(),
+                               false};
+  const GeometrySpec salp{"salp", dram::Geometry::lpddr3_4gb(), true};
+
+  // Main grid: tasks × sizes × DRAM organizations under the paper's pick,
+  // Model-0 (8 scenarios).
+  ScenarioMatrix main_grid;
+  main_grid.tasks = {data::Task::kDigits, data::Task::kFashion};
+  main_grid.sizes = {small, medium};
+  main_grid.geometries = {commodity, salp};
+  main_grid.error_models = {
+      {"m0", model_spec(error::ErrorModelKind::kModel0Uniform)}};
+  for (auto& s : main_grid.expand()) all.push_back(std::move(s));
+
+  // Stripe-model grid: the bitline/wordline EDEN models on the small digits
+  // net across both organizations (4 scenarios).
+  ScenarioMatrix stripes;
+  stripes.tasks = {data::Task::kDigits};
+  stripes.sizes = {small};
+  stripes.geometries = {commodity, salp};
+  stripes.error_models = {
+      {"m1", model_spec(error::ErrorModelKind::kModel1Bitline)},
+      {"m2", model_spec(error::ErrorModelKind::kModel2Wordline)}};
+  for (auto& s : stripes.expand()) all.push_back(std::move(s));
+
+  for (const auto& s : all) s.validate();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      SPARKXD_ENSURE(all[i].name != all[j].name,
+                     "duplicate scenario name: " + all[i].name);
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& builtin_scenarios() {
+  static const std::vector<Scenario> registry = build_registry();
+  return registry;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const auto& s : builtin_scenarios())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<Scenario> match_scenarios(std::string_view substring) {
+  std::vector<Scenario> out;
+  for (const auto& s : builtin_scenarios())
+    if (s.name.find(substring) != std::string::npos) out.push_back(s);
+  return out;
+}
+
+}  // namespace sparkxd::scenario

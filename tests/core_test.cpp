@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "common/contracts.hpp"
@@ -247,6 +248,66 @@ TEST(Pipeline, RejectsEmptyVoltageList) {
   PipelineConfig cfg;
   cfg.voltages.clear();
   EXPECT_THROW((void)run_pipeline(cfg), ContractViolation);
+}
+
+TEST(PipelineConfig_, ValidateRejectsBadVoltageGrids) {
+  PipelineConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());  // defaults are valid
+
+  cfg.voltages = {1.100, 1.250};  // ascending — wrong order
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.voltages = {1.250, 1.250, 1.100};  // duplicate
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.voltages = {1.250, -1.0};  // non-positive
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.voltages = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.voltages = {1.325};  // a single voltage is fine
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PipelineConfig_, ValidateRejectsBadBerSchedule) {
+  PipelineConfig cfg;
+  cfg.fault_training.ber_stages.clear();
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.fault_training.ber_stages = {1e-3, 1e-5};  // descending
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.fault_training.ber_stages = {0.0, 1e-3};  // zero rate
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+TEST(PipelineConfig_, ValidateRejectsEmptyData) {
+  PipelineConfig no_train;
+  no_train.train_samples = 0;
+  EXPECT_THROW(no_train.validate(), ContractViolation);
+  PipelineConfig no_test;
+  no_test.test_samples = 0;
+  EXPECT_THROW(no_test.validate(), ContractViolation);
+}
+
+TEST(Pipeline, SalpIsNeverSlowerOrHungrierThanCommodity) {
+  // SALP only removes PRE/ACT work from the SparkXD mapping's trace, so at
+  // every voltage it can only save energy and time; accuracy is untouched
+  // (error injection does not depend on the row-buffer architecture).
+  PipelineConfig cfg;
+  cfg.network.n_neurons = 25;
+  cfg.network.seed = 42;
+  cfg.train_samples = 100;
+  cfg.test_samples = 50;
+  cfg.baseline_epochs = 1;
+  cfg.fault_training.ber_stages = {1e-5, 1e-3};
+  cfg.voltages = {1.250, 1.025};
+  const auto commodity = run_pipeline(cfg);
+  cfg.salp = true;
+  const auto salp = run_pipeline(cfg);
+  ASSERT_EQ(salp.per_voltage.size(), commodity.per_voltage.size());
+  for (std::size_t i = 0; i < salp.per_voltage.size(); ++i) {
+    EXPECT_LE(salp.per_voltage[i].energy_nj,
+              commodity.per_voltage[i].energy_nj * 1.0001);
+    EXPECT_GE(salp.per_voltage[i].speedup,
+              commodity.per_voltage[i].speedup * 0.9999);
+    EXPECT_EQ(salp.per_voltage[i].accuracy, commodity.per_voltage[i].accuracy);
+  }
 }
 
 }  // namespace

@@ -256,5 +256,63 @@ TEST(Salp, SameRowSameSubarrayStillHits) {
   EXPECT_EQ(stats.misses, 1u);
 }
 
+// ----------------------------------------------------- randomized properties
+
+/// Random trace spanning a few banks/subarrays/rows so every row-buffer
+/// outcome class occurs.
+AccessTrace random_trace(std::uint64_t seed, std::size_t n = 400) {
+  Rng rng(seed);
+  AccessTrace trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    trace.push_back(rd(static_cast<std::uint32_t>(rng.index(8)),
+                       static_cast<std::uint32_t>(rng.index(4)),
+                       static_cast<std::uint32_t>(rng.index(8)),
+                       static_cast<std::uint32_t>(rng.index(64)) * 8));
+  return trace;
+}
+
+class RandomTraces : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTraces, SalpNeverProducesMoreConflictsThanCommodity) {
+  // A SALP conflict needs the *same subarray* open on a different row; in
+  // commodity DRAM that access also conflicts (the shared bank buffer holds
+  // a different bank-level row). So per access — and hence in aggregate —
+  // SALP's conflicts are a subset of commodity's, and its hits a superset.
+  const auto trace = random_trace(GetParam());
+  Controller salp(geom(), timing(), true);
+  Controller plain(geom(), timing(), false);
+  const auto s = salp.run(trace);
+  const auto p = plain.run(trace);
+  EXPECT_LE(s.conflicts, p.conflicts);
+  EXPECT_GE(s.hits, p.hits);
+  EXPECT_EQ(s.accesses, p.accesses);
+  EXPECT_EQ(s.hits + s.misses + s.conflicts, s.accesses);
+}
+
+TEST_P(RandomTraces, RunResetsStateBetweenCalls) {
+  // After any prior trace, run() must behave exactly like a fresh
+  // controller: identical classification counts, commands, and makespan.
+  for (const bool salp_mode : {false, true}) {
+    Controller reused(geom(), timing(), salp_mode);
+    Controller fresh(geom(), timing(), salp_mode);
+    (void)reused.run(random_trace(GetParam() + 1000));  // dirty the state
+    const auto trace = random_trace(GetParam());
+    const auto a = reused.run(trace, 3.0);
+    const auto b = fresh.run(trace, 3.0);
+    EXPECT_EQ(a.hits, b.hits) << "salp=" << salp_mode;
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.conflicts, b.conflicts);
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_DOUBLE_EQ(a.total_time_ns, b.total_time_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraces,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 9001u));
+
 }  // namespace
 }  // namespace sparkxd::dram

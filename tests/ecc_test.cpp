@@ -1,0 +1,159 @@
+// Exhaustive round-trip tests for the SECDED(72,64) code: every correctable
+// (single-bit) error pattern must decode back to the original word, and
+// every double-bit pattern must be flagged uncorrectable — never silently
+// miscorrected into a wrong word that claims to be clean or corrected.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "error/ecc.hpp"
+
+namespace sparkxd::error {
+namespace {
+
+/// Assorted data words: degenerate patterns plus deterministic random ones.
+std::vector<std::uint64_t> test_words() {
+  std::vector<std::uint64_t> words = {
+      0x0000000000000000ULL, 0xFFFFFFFFFFFFFFFFULL, 0xAAAAAAAAAAAAAAAAULL,
+      0x5555555555555555ULL, 0xDEADBEEFCAFEBABEULL, 0x0000000000000001ULL,
+      0x8000000000000000ULL,
+  };
+  Rng rng(123);
+  for (int i = 0; i < 5; ++i) words.push_back(rng.next_u64());
+  return words;
+}
+
+/// A codeword-wide bit flip: positions 0..63 hit the data word, 64..71 hit
+/// the check byte.
+void flip(std::uint64_t& data, std::uint8_t& check, unsigned pos) {
+  if (pos < 64)
+    data ^= std::uint64_t{1} << pos;
+  else
+    check ^= static_cast<std::uint8_t>(1u << (pos - 64));
+}
+
+TEST(Secded, CleanWordsDecodeClean) {
+  for (const auto word : test_words()) {
+    std::uint64_t data = word;
+    EXPECT_EQ(secded_decode(data, secded_encode(word)), SecdedStatus::kClean);
+    EXPECT_EQ(data, word);
+  }
+}
+
+TEST(Secded, EverySingleBitErrorIsCorrectedToTheOriginal) {
+  for (const auto word : test_words()) {
+    const std::uint8_t check = secded_encode(word);
+    for (unsigned pos = 0; pos < 72; ++pos) {
+      std::uint64_t data = word;
+      std::uint8_t c = check;
+      flip(data, c, pos);
+      EXPECT_EQ(secded_decode(data, c), SecdedStatus::kCorrected)
+          << "word " << word << " flipped bit " << pos;
+      EXPECT_EQ(data, word) << "data not restored after flipping bit " << pos;
+    }
+  }
+}
+
+TEST(Secded, EveryDoubleBitErrorIsFlaggedNeverMiscorrected) {
+  // All C(72,2) = 2556 two-bit patterns across data + check bits. SECDED
+  // must *detect* them; the fatal failure mode would be kClean or a
+  // kCorrected that "fixes" the word to a wrong value.
+  for (const auto word : test_words()) {
+    const std::uint8_t check = secded_encode(word);
+    for (unsigned i = 0; i < 72; ++i) {
+      for (unsigned j = i + 1; j < 72; ++j) {
+        std::uint64_t data = word;
+        std::uint8_t c = check;
+        flip(data, c, i);
+        flip(data, c, j);
+        EXPECT_EQ(secded_decode(data, c), SecdedStatus::kUncorrectable)
+            << "word " << word << " flipped bits " << i << "," << j;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ weight buffers
+
+TEST(EccWeights, CleanBufferScrubsClean) {
+  std::vector<float> w = {0.1f, 0.2f, 0.3f, 0.4f};
+  const auto checks = ecc_encode_weights(w);
+  ASSERT_EQ(checks.size(), 2u);
+  const auto stats = ecc_scrub_weights(w, checks);
+  EXPECT_EQ(stats.words, 2u);
+  EXPECT_EQ(stats.corrected, 0u);
+  EXPECT_EQ(stats.uncorrectable, 0u);
+}
+
+TEST(EccWeights, SingleBitFlipIsRepaired) {
+  std::vector<float> w(8, 0.25f);
+  const auto original = w;
+  const auto checks = ecc_encode_weights(w);
+  // Corrupt one mantissa bit of weight 5.
+  std::uint32_t bits;
+  std::memcpy(&bits, &w[5], sizeof(bits));
+  bits ^= 1u << 13;
+  std::memcpy(&w[5], &bits, sizeof(bits));
+
+  const auto stats = ecc_scrub_weights(w, checks);
+  EXPECT_EQ(stats.corrected, 1u);
+  EXPECT_EQ(stats.uncorrectable, 0u);
+  EXPECT_EQ(w, original);
+}
+
+TEST(EccWeights, DoubleFlipInOneWordIsFlaggedAndLeftAsIs) {
+  std::vector<float> w(4, 0.75f);
+  const auto checks = ecc_encode_weights(w);
+  // Two flips inside the same 64-bit word (weights 0 and 1).
+  std::uint32_t bits;
+  std::memcpy(&bits, &w[0], sizeof(bits));
+  bits ^= 1u << 3;
+  std::memcpy(&w[0], &bits, sizeof(bits));
+  std::memcpy(&bits, &w[1], sizeof(bits));
+  bits ^= 1u << 21;
+  std::memcpy(&w[1], &bits, sizeof(bits));
+  const auto corrupted = w;
+
+  const auto stats = ecc_scrub_weights(w, checks);
+  EXPECT_EQ(stats.corrected, 0u);
+  EXPECT_EQ(stats.uncorrectable, 1u);
+  EXPECT_EQ(w, corrupted);  // detected but not touched
+}
+
+TEST(EccWeights, FlipsInDifferentWordsAreBothRepaired) {
+  std::vector<float> w(8, 0.5f);
+  const auto original = w;
+  const auto checks = ecc_encode_weights(w);
+  for (const std::size_t i : {0u, 7u}) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &w[i], sizeof(bits));
+    bits ^= 1u << 7;
+    std::memcpy(&w[i], &bits, sizeof(bits));
+  }
+  const auto stats = ecc_scrub_weights(w, checks);
+  EXPECT_EQ(stats.corrected, 2u);
+  EXPECT_EQ(stats.uncorrectable, 0u);
+  EXPECT_EQ(w, original);
+}
+
+TEST(EccWeights, RejectsOddBufferAndMismatchedChecks) {
+  std::vector<float> odd(3, 0.1f);
+  EXPECT_THROW((void)ecc_encode_weights(odd), ContractViolation);
+  std::vector<float> w(4, 0.1f);
+  const std::vector<std::uint8_t> wrong(3);
+  EXPECT_THROW((void)ecc_scrub_weights(w, wrong), ContractViolation);
+}
+
+TEST(EccWeights, StorageOverheadIsOneEighth) {
+  std::vector<float> w(64, 0.1f);  // 256 data bytes
+  EXPECT_EQ(ecc_encode_weights(w).size() * sizeof(std::uint8_t), 32u);
+  EXPECT_DOUBLE_EQ(kEccStorageOverhead, 0.125);
+}
+
+}  // namespace
+}  // namespace sparkxd::error

@@ -17,32 +17,12 @@
 #include "core/pipeline.hpp"
 #include "error/injector.hpp"
 #include "mapping/mapping.hpp"
+#include "test_env_util.hpp"
 
 namespace sparkxd {
 namespace {
 
-/// Scoped override of the SPARKXD_THREADS knob (restored on destruction).
-class ThreadsOverride {
- public:
-  explicit ThreadsOverride(const char* value) {
-    const char* old = std::getenv("SPARKXD_THREADS");
-    had_old_ = old != nullptr;
-    if (had_old_) old_ = old;
-    ::setenv("SPARKXD_THREADS", value, 1);
-  }
-  ~ThreadsOverride() {
-    if (had_old_)
-      ::setenv("SPARKXD_THREADS", old_.c_str(), 1);
-    else
-      ::unsetenv("SPARKXD_THREADS");
-  }
-  ThreadsOverride(const ThreadsOverride&) = delete;
-  ThreadsOverride& operator=(const ThreadsOverride&) = delete;
-
- private:
-  std::string old_;
-  bool had_old_ = false;
-};
+using testutil::ThreadsOverride;
 
 // ------------------------------------------------------------- parallel_for
 

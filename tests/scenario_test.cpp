@@ -1,0 +1,352 @@
+// Tests for the scenario subsystem: the stable JSON writer, the built-in
+// registry, ScenarioMatrix expansion, runner determinism across thread
+// counts, and the golden-report regression harness.
+//
+// Golden workflow: the digests of the two smoke scenarios live in
+// tests/golden/<name>.digest. When a change intentionally moves the numbers
+// (new training schedule, energy-model fix, ...), regenerate them with
+//
+//     ./build/scenario_test --update-golden        (or SPARKXD_UPDATE_GOLDEN=1)
+//
+// and commit the diff. Unintentional drift — any change to accuracy, BER,
+// energy, or timing at 6-digit precision — fails the test.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/contracts.hpp"
+#include "common/json.hpp"
+#include "scenario/matrix.hpp"
+#include "scenario/runner.hpp"
+#include "test_env_util.hpp"
+
+#ifndef SPARKXD_GOLDEN_DIR
+#error "scenario_test needs SPARKXD_GOLDEN_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace sparkxd::scenario {
+namespace {
+
+bool g_update_golden = false;
+
+using testutil::ThreadsOverride;
+
+std::string golden_path(std::string_view scenario_name) {
+  return std::string(SPARKXD_GOLDEN_DIR) + "/" + std::string(scenario_name) +
+         ".digest";
+}
+
+// ------------------------------------------------------------- JSON writer
+
+TEST(JsonWriter, NestedDocumentHasStableLayout) {
+  json::Writer w;
+  w.begin_object();
+  w.field("name", "x");
+  w.key("values").begin_array().value(1.5).value(2).end_array();
+  w.key("inner").begin_object().field("flag", true).end_object();
+  w.key("empty").begin_array().end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"x\",\n"
+            "  \"values\": [\n"
+            "    1.5,\n"
+            "    2\n"
+            "  ],\n"
+            "  \"inner\": {\n"
+            "    \"flag\": true\n"
+            "  },\n"
+            "  \"empty\": []\n"
+            "}");
+}
+
+TEST(JsonWriter, CompactMode) {
+  json::Writer w(/*pretty=*/false);
+  w.begin_object();
+  w.field("a", 1).key("b").begin_array().value(true).value("s").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true,\"s\"]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json::escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json::escape("plain"), "plain");
+}
+
+TEST(JsonWriter, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(json::number(0.5), "0.5");
+  EXPECT_EQ(json::number(1e-5), "1e-05");
+  EXPECT_EQ(json::number(1.25), "1.25");
+  EXPECT_EQ(json::number(0.0), "0");
+  // NaN / inf are not JSON numbers.
+  EXPECT_EQ(json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, RejectsMalformedNesting) {
+  {
+    json::Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), ContractViolation);  // value without key
+  }
+  {
+    json::Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), ContractViolation);  // key inside array
+  }
+  {
+    json::Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), ContractViolation);  // mismatched end
+  }
+  {
+    json::Writer w;
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), ContractViolation);  // two roots
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, HasAtLeastTenValidUniqueScenarios) {
+  const auto& all = builtin_scenarios();
+  EXPECT_GE(all.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& s : all) {
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+  }
+}
+
+TEST(Registry, CoversTheEvaluationGrid) {
+  const auto& all = builtin_scenarios();
+  std::set<data::Task> tasks;
+  std::set<bool> salp;
+  std::set<error::ErrorModelKind> models;
+  for (const auto& s : all) {
+    tasks.insert(s.task);
+    salp.insert(s.salp);
+    models.insert(s.error_model.kind);
+  }
+  EXPECT_EQ(tasks.size(), 2u);  // digits and fashion
+  EXPECT_EQ(salp.size(), 2u);   // commodity and SALP
+  EXPECT_GE(models.size(), 3u); // Model-0, Model-1, Model-2
+}
+
+TEST(Registry, FindAndMatch) {
+  ASSERT_NE(find_scenario("smoke-digits-m0"), nullptr);
+  EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+  const auto smoke = match_scenarios("smoke");
+  EXPECT_EQ(smoke.size(), 2u);
+  EXPECT_TRUE(match_scenarios("zzz").empty());
+}
+
+TEST(Registry, GoldenScenariosExistAndAreFast) {
+  for (const auto name : kGoldenScenarios) {
+    const auto* s = find_scenario(name);
+    ASSERT_NE(s, nullptr) << name;
+    // Golden runs must stay cheap: tests and CI run them repeatedly.
+    EXPECT_LE(s->n_neurons, 32u) << name;
+    EXPECT_LE(s->train_samples, 120u) << name;
+    EXPECT_LE(s->voltages.size(), 3u) << name;
+  }
+}
+
+TEST(Scenario, ValidateRejectsBadNames) {
+  Scenario s = *find_scenario("smoke-digits-m0");
+  s.name = "";
+  EXPECT_THROW(s.validate(), ContractViolation);
+  s.name = "Has Spaces";
+  EXPECT_THROW(s.validate(), ContractViolation);
+  s.name = "ok-name-2";
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scenario, ValidateRejectsBadVoltageGrid) {
+  Scenario s = *find_scenario("smoke-digits-m0");
+  s.voltages = {1.1, 1.25};  // ascending
+  EXPECT_THROW(s.validate(), ContractViolation);
+  s.voltages = {};
+  EXPECT_THROW(s.validate(), ContractViolation);
+}
+
+// ------------------------------------------------------------------ matrix
+
+ScenarioMatrix small_matrix() {
+  ScenarioMatrix m;
+  m.tasks = {data::Task::kDigits, data::Task::kFashion};
+  m.sizes = {{"tiny", 25, 100, 50, 1}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false},
+                  {"salp", dram::Geometry::lpddr3_4gb(), true}};
+  m.error_models = {{"m0", {}},
+                    {"m1", {error::ErrorModelKind::kModel1Bitline}}};
+  return m;
+}
+
+TEST(Matrix, ExpandsTheFullCrossProduct) {
+  const auto m = small_matrix();
+  EXPECT_EQ(m.size(), 2u * 1u * 2u * 2u);
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), m.size());
+  std::set<std::string> names;
+  for (const auto& s : scenarios) names.insert(s.name);
+  EXPECT_EQ(names.size(), scenarios.size());
+  EXPECT_TRUE(names.count("digits-tiny-commodity-m0"));
+  EXPECT_TRUE(names.count("fashion-tiny-salp-m1"));
+}
+
+TEST(Matrix, ExpansionIsDeterministic) {
+  const auto a = small_matrix().expand();
+  const auto b = small_matrix().expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Matrix, SeedAxisSuffixesNamesOnlyWhenMultiValued) {
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.seeds = {1, 2};
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].name, "digits-tiny-commodity-m0-s1");
+  EXPECT_EQ(scenarios[1].name, "digits-tiny-commodity-m0-s2");
+}
+
+TEST(Matrix, RejectsEmptyAxes) {
+  auto m = small_matrix();
+  m.sizes.clear();
+  EXPECT_THROW((void)m.expand(), ContractViolation);
+  auto m2 = small_matrix();
+  m2.error_models.clear();
+  EXPECT_THROW((void)m2.expand(), ContractViolation);
+  auto m3 = small_matrix();
+  m3.geometries[0].name.clear();
+  EXPECT_THROW((void)m3.expand(), ContractViolation);
+}
+
+// ---------------------------------------------------- runner + golden files
+
+/// Runs one golden scenario once per binary invocation and caches the
+/// result — several tests below reuse it.
+const ScenarioResult& golden_result(std::size_t which) {
+  static ScenarioResult cache[2];
+  static bool done[2] = {false, false};
+  SPARKXD_REQUIRE(which < 2, "two golden scenarios");
+  if (!done[which]) {
+    const auto* s = find_scenario(kGoldenScenarios[which]);
+    SPARKXD_REQUIRE(s != nullptr, "golden scenario missing from registry");
+    cache[which] = run_scenarios({*s}).front();
+    done[which] = true;
+  }
+  return cache[which];
+}
+
+TEST(Runner, ResultsComeBackInInputOrder) {
+  ThreadsOverride threads("4");
+  const auto* a = find_scenario("smoke-digits-m0");
+  const auto* b = find_scenario("smoke-fashion-salp-m1");
+  ASSERT_TRUE(a != nullptr && b != nullptr);
+  const auto results = run_scenarios({*b, *a});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].scenario.name, b->name);
+  EXPECT_EQ(results[1].scenario.name, a->name);
+  EXPECT_GT(results[0].report.baseline_accuracy, 0.0);
+}
+
+TEST(Runner, JsonAndDigestAreThreadCountInvariant) {
+  const auto* s = find_scenario("smoke-digits-m0");
+  ASSERT_NE(s, nullptr);
+  std::string json_1, json_8, digest_1, digest_8;
+  {
+    ThreadsOverride threads("1");
+    const auto r = run_scenarios({*s});
+    json_1 = to_json(r);
+    digest_1 = digest(r.front());
+  }
+  {
+    ThreadsOverride threads("8");
+    const auto r = run_scenarios({*s});
+    json_8 = to_json(r);
+    digest_8 = digest(r.front());
+  }
+  EXPECT_EQ(json_1, json_8);    // byte-identical full report
+  EXPECT_EQ(digest_1, digest_8);  // and digest
+}
+
+TEST(Runner, DigestIsCompactAndLabelled) {
+  const auto& r = golden_result(0);
+  const auto d = digest(r);
+  EXPECT_NE(d.find("scenario=smoke-digits-m0\n"), std::string::npos);
+  EXPECT_NE(d.find("baseline_accuracy="), std::string::npos);
+  EXPECT_NE(d.find("ber_th="), std::string::npos);
+  // One v= line per voltage.
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; (pos = d.find("\nv=", pos)) != std::string::npos;
+       ++pos)
+    ++lines;
+  EXPECT_EQ(lines, r.report.per_voltage.size());
+}
+
+TEST(Runner, RejectsInvalidScenario) {
+  Scenario bad = *find_scenario("smoke-digits-m0");
+  bad.voltages.clear();
+  EXPECT_THROW((void)run_scenarios({bad}), ContractViolation);
+}
+
+class GoldenReport : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenReport, DigestMatchesCheckedInGolden) {
+  const auto& result = golden_result(GetParam());
+  const auto fresh = digest(result);
+  const auto path = golden_path(result.scenario.name);
+
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << fresh;
+    std::printf("[golden] updated %s\n", path.c_str());
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run scenario_test --update-golden and commit it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), fresh)
+      << "golden digest drift for " << result.scenario.name
+      << ".\nIf this change is intentional, regenerate with\n"
+         "  ./build/scenario_test --update-golden\nand commit the diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGoldenScenarios, GoldenReport,
+                         ::testing::Values(0u, 1u));
+
+}  // namespace
+}  // namespace sparkxd::scenario
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--update-golden")
+      sparkxd::scenario::g_update_golden = true;
+  if (std::getenv("SPARKXD_UPDATE_GOLDEN") != nullptr)
+    sparkxd::scenario::g_update_golden = true;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

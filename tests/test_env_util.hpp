@@ -1,0 +1,34 @@
+#pragma once
+// Shared test helpers for environment-knob manipulation.
+
+#include <cstdlib>
+#include <string>
+
+namespace sparkxd::testutil {
+
+/// Scoped override of the SPARKXD_THREADS knob (restored on destruction).
+/// The knob is re-read on every parallel_for call, so tests can flip it
+/// between runs to compare serial and parallel results.
+class ThreadsOverride {
+ public:
+  explicit ThreadsOverride(const char* value) {
+    const char* old = std::getenv("SPARKXD_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("SPARKXD_THREADS", value, 1);
+  }
+  ~ThreadsOverride() {
+    if (had_old_)
+      ::setenv("SPARKXD_THREADS", old_.c_str(), 1);
+    else
+      ::unsetenv("SPARKXD_THREADS");
+  }
+  ThreadsOverride(const ThreadsOverride&) = delete;
+  ThreadsOverride& operator=(const ThreadsOverride&) = delete;
+
+ private:
+  std::string old_;
+  bool had_old_ = false;
+};
+
+}  // namespace sparkxd::testutil
