@@ -14,6 +14,7 @@
 //
 // Exit codes: 0 success, 2 bad usage / unknown scenario.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,9 @@ void print_usage(std::FILE* to) {
       "  --scenario NAME    run this scenario (repeatable, exact name)\n"
       "  --filter SUBSTR    select scenarios whose name contains SUBSTR\n"
       "  --all              select every built-in scenario\n"
+      "  --refresh SPEC     override the refresh policy of every selected\n"
+      "                     scenario: off, nominal, or a multiplier like 8x\n"
+      "                     (renames them with a -ref* suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --digest           print golden digests of the results to stdout\n"
@@ -45,15 +49,46 @@ void print_usage(std::FILE* to) {
 }
 
 void list_scenarios(const std::vector<sparkxd::scenario::Scenario>& all) {
-  std::printf("%-28s %-13s %8s %6s %-10s %-6s %s\n", "name", "task",
-              "neurons", "volts", "geometry", "model", "description");
+  std::printf("%-36s %-13s %8s %6s %-10s %-6s %-7s %s\n", "name", "task",
+              "neurons", "volts", "geometry", "model", "refresh",
+              "description");
   for (const auto& s : all) {
-    std::printf("%-28s %-13s %8zu %6zu %-10s %-6s %s\n", s.name.c_str(),
+    std::printf("%-36s %-13s %8zu %6zu %-10s %-6s %-7s %s\n", s.name.c_str(),
                 sparkxd::data::to_string(s.task), s.n_neurons,
                 s.voltages.size(), s.salp ? "salp" : "commodity",
                 sparkxd::scenario::model_label(s.error_model.kind),
+                sparkxd::scenario::refresh_label(s.refresh).c_str(),
                 s.description.c_str());
   }
+}
+
+/// Parses a --refresh SPEC: "off", "nominal", or "<multiplier>[x]" with a
+/// multiplier >= 1. Exits with usage code 2 on anything else.
+sparkxd::dram::RefreshPolicy parse_refresh_spec(const std::string& spec) {
+  using sparkxd::dram::RefreshPolicy;
+  if (spec == "off" || spec == "disabled") return RefreshPolicy::disabled();
+  if (spec == "nominal" || spec == "1x") return RefreshPolicy::nominal();
+  std::string digits = spec;
+  if (!digits.empty() && digits.back() == 'x') digits.pop_back();
+  char* end = nullptr;
+  const double mult = std::strtod(digits.c_str(), &end);
+  if (digits.empty() || end != digits.c_str() + digits.size() ||
+      !std::isfinite(mult) || mult < 1.0) {
+    std::fprintf(stderr,
+                 "sparkxd_run: --refresh wants off, nominal, or a "
+                 "multiplier >= 1 like 8x (got '%s')\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  return mult == 1.0 ? RefreshPolicy::nominal() : RefreshPolicy::reduced(mult);
+}
+
+/// Scenario-name-safe form of a refresh label ("8.5x" -> "8p5x").
+std::string refresh_suffix(const sparkxd::dram::RefreshPolicy& policy) {
+  std::string label = "-ref" + sparkxd::scenario::refresh_label(policy);
+  for (auto& c : label)
+    if (c == '.') c = 'p';
+  return label;
 }
 
 }  // namespace
@@ -65,6 +100,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::vector<std::string> filters;
   std::string out_path;
+  bool override_refresh = false;
+  dram::RefreshPolicy refresh_override;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -88,6 +125,9 @@ int main(int argc, char** argv) {
       names.emplace_back(next("--scenario"));
     } else if (arg == "--filter") {
       filters.emplace_back(next("--filter"));
+    } else if (arg == "--refresh") {
+      refresh_override = parse_refresh_spec(next("--refresh"));
+      override_refresh = true;
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--threads") {
@@ -142,11 +182,28 @@ int main(int argc, char** argv) {
     for (const auto& s : matches) add_unique(s);
   }
 
+  // --refresh rewrites every selected scenario onto the requested policy;
+  // the -ref* name suffix keeps overridden results distinguishable from the
+  // built-ins (and their golden digests) in any downstream diff.
+  const auto apply_refresh_override =
+      [&](std::vector<scenario::Scenario>& scenarios) {
+        if (!override_refresh) return;
+        for (auto& s : scenarios) {
+          s.refresh = refresh_override;
+          s.name += refresh_suffix(refresh_override);
+          s.description += " [refresh override]";
+        }
+      };
+
   if (list) {
-    list_scenarios(selected.empty() ? scenario::builtin_scenarios()
-                                    : selected);
+    // With no selection, --list browses every built-in — still honouring a
+    // --refresh override so the listing shows what a run would execute.
+    auto shown = selected.empty() ? scenario::builtin_scenarios() : selected;
+    apply_refresh_override(shown);
+    list_scenarios(shown);
     return 0;
   }
+  apply_refresh_override(selected);
   if (selected.empty()) {
     std::fprintf(stderr,
                  "sparkxd_run: nothing selected — use --scenario, --filter, "

@@ -28,8 +28,9 @@ int main() {
   m.sizes = {{"tiny", 25, scaled(100, 50), scaled(50, 25), 1}};
   m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false},
                   {"salp", dram::Geometry::lpddr3_4gb(), true}};
-  m.error_models = {{"m0", {}},
-                    {"m1", {error::ErrorModelKind::kModel1Bitline}}};
+  error::ErrorModelSpec m1;
+  m1.kind = error::ErrorModelKind::kModel1Bitline;
+  m.error_models = {{"m0", {}}, {"m1", m1}};
   m.voltage_grids = {{"v3", {1.250, 1.100, 1.025}}};
   m.seeds = {experiment_seed()};
 

@@ -50,7 +50,9 @@ std::string escape(std::string_view s) {
 }
 
 std::string number(double v) {
-  if (!std::isfinite(v)) return "null";
+  SPARKXD_REQUIRE(std::isfinite(v),
+                  "JSON numbers must be finite (NaN/Inf have no JSON "
+                  "representation; emit null() explicitly if intended)");
   std::array<char, 32> buf{};
   const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
   SPARKXD_ENSURE(res.ec == std::errc{}, "double did not fit the buffer");

@@ -20,7 +20,9 @@ namespace sparkxd::json {
 [[nodiscard]] std::string escape(std::string_view s);
 
 /// Shortest round-trip decimal form of `v` via std::to_chars. NaN and
-/// infinities are not representable in JSON and become "null".
+/// infinities are not representable in JSON; a non-finite value is a bug in
+/// the caller (every metric the reports serialize is validated finite), so
+/// it throws ContractViolation instead of silently degrading to "null".
 [[nodiscard]] std::string number(double v);
 
 /// Streaming writer with contract-checked nesting.

@@ -38,7 +38,14 @@ struct PipelineConfig {
   /// SparkXD mapping's evaluation. The accurate-DRAM baseline reference is
   /// always the conventional commodity module (one row buffer per bank).
   bool salp = false;
-  error::ErrorModelSpec error_model;  ///< Model-0 by default (paper §III)
+  /// Refresh axis (EDEN-style reduced refresh). Disabled by default, which
+  /// reproduces the refresh-free controller schedule and the legacy
+  /// makespan-based refresh-energy estimate bit for bit. When simulated,
+  /// the accurate-DRAM baseline reference runs at the NOMINAL cadence, so
+  /// reduced-rate savings include the refresh-energy win.
+  dram::RefreshPolicy refresh;
+  error::ErrorModelSpec error_model;  ///< Model-0 by default (paper §III);
+                                      ///< carries the retention spec
   std::uint64_t seed = 42;
   /// Lognormal spread of per-subarray error rates.
   double subarray_sigma = 0.8;
@@ -62,6 +69,10 @@ struct VoltageReport {
   double row_hit_rate = 0.0;
   std::size_t safe_subarrays = 0;
   bool capacity_relaxed = false;  ///< BER_th raised to fit the weights
+  std::uint64_t refreshes = 0;    ///< REF commands during the weight stream
+  /// Retention-failure weak cells in the mapped payload (0 unless the
+  /// refresh policy is simulated with a retention-enabled error model).
+  std::size_t retention_weak_cells = 0;
 };
 
 /// Full pipeline output.
@@ -95,6 +106,7 @@ struct TraceEnergy {
     const dram::Geometry& geometry, const error::ChunkPlacement& placement,
     std::size_t n_weights, double v_supply,
     const energy::VoltageModel& vm = energy::VoltageModel{},
-    const energy::PowerModel& pm = energy::PowerModel{}, bool salp = false);
+    const energy::PowerModel& pm = energy::PowerModel{}, bool salp = false,
+    const dram::RefreshPolicy& refresh = dram::RefreshPolicy::disabled());
 
 }  // namespace sparkxd::core

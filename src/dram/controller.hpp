@@ -8,6 +8,18 @@
 // buys throughput. The simulation is event-free (one pass over the trace,
 // per-bank ready times), which is exact for in-order single-request-stream
 // workloads like streaming weight reads.
+//
+// Auto-refresh: under a simulated RefreshPolicy the controller schedules one
+// all-bank REF every effective tREFI (tREFI x the policy's multiplier). REF
+// k occupies the whole device for [k*tREFI_eff, k*tREFI_eff + tRFC): no
+// ACT, PRE, or column command may issue inside that window, so every command
+// instant is pushed past the window it lands in. Row buffers are restored
+// after the REF (the controller is assumed to reopen the rows at no modelled
+// cost) — a deliberate simplification that keeps row-buffer classification a
+// pure function of the address stream, which classify() and the
+// classify-vs-run differential tests rely on. The dominant timing cost of
+// refresh — a tRFC stall every tREFI, ~1.7% of time at the nominal cadence —
+// is captured exactly.
 
 #include <vector>
 
@@ -25,8 +37,12 @@ class Controller {
   /// own local row buffer, so switching rows across subarrays of one bank is
   /// a miss (ACT only) rather than a conflict (PRE + ACT). Commodity DRAM
   /// (the default, false) has one row buffer per bank.
+  ///
+  /// `refresh` defaults to RefreshPolicy::disabled(), which reproduces the
+  /// refresh-free schedule bit for bit.
   Controller(const Geometry& geometry, const TimingParams& timing,
-             bool subarray_level_parallelism = false);
+             bool subarray_level_parallelism = false,
+             RefreshPolicy refresh = RefreshPolicy::disabled());
 
   /// Classifies and times every access in order. Resets state first, so each
   /// call simulates an independent trace (all banks initially idle).
@@ -34,7 +50,11 @@ class Controller {
   /// `arrival_interval_ns` models the consumer: request i arrives at
   /// i * interval (an accelerator consuming one burst per MAC-array pass).
   /// 0 = back-to-back (pure DRAM-limited streaming).
-  TraceStats run(const AccessTrace& trace, double arrival_interval_ns = 0.0);
+  ///
+  /// When `timeline` is non-null it receives one AccessTiming per access,
+  /// in trace order (the vector is cleared first).
+  TraceStats run(const AccessTrace& trace, double arrival_interval_ns = 0.0,
+                 std::vector<AccessTiming>* timeline = nullptr);
 
   /// Classifies a single access against current state *without* advancing
   /// time (used by tests and by the energy model's per-condition probes).
@@ -42,6 +62,14 @@ class Controller {
 
   [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
   [[nodiscard]] const TimingParams& timing() const noexcept { return timing_; }
+  [[nodiscard]] const RefreshPolicy& refresh() const noexcept {
+    return refresh_;
+  }
+
+  /// Earliest instant >= t_ns that does not fall inside a refresh window
+  /// [k*tREFI_eff, k*tREFI_eff + tRFC), k >= 1. Identity when refresh is
+  /// not simulated. Exposed so tests can assert the window arithmetic.
+  [[nodiscard]] double next_outside_refresh(double t_ns) const;
 
  private:
   struct BankState {
@@ -57,6 +85,8 @@ class Controller {
   Geometry geom_;
   TimingParams timing_;
   bool salp_ = false;
+  RefreshPolicy refresh_;
+  double refi_eff_ns_ = 0.0;      ///< effective tREFI (0 when not simulated)
   std::vector<BankState> banks_;  ///< one per row buffer (bank, or subarray)
   double bus_ready_ns_ = 0.0;
   double last_act_ns_ = -1.0e18;  ///< for tRRD across banks

@@ -28,6 +28,20 @@ enum class RowBufferOutcome : std::uint8_t {
   kConflict  ///< another row open: PRE + ACT needed
 };
 
+/// Per-access command-issue instants recorded by Controller::run when a
+/// timeline sink is supplied. `pre_ns`/`act_ns` are negative when the access
+/// needed no PRE/ACT (hits, and misses need no PRE). The property tests use
+/// these to assert the controller's timing invariants (monotone completion,
+/// no command inside a refresh window) without re-deriving the schedule.
+struct AccessTiming {
+  RowBufferOutcome outcome = RowBufferOutcome::kMiss;
+  double pre_ns = -1.0;         ///< PRE issue time (conflicts only)
+  double act_ns = -1.0;         ///< ACT issue time (misses and conflicts)
+  double cmd_ns = 0.0;          ///< RD/WR column-command issue time
+  double data_start_ns = 0.0;   ///< first data beat on the bus
+  double data_end_ns = 0.0;     ///< burst completion
+};
+
 /// Aggregate statistics produced by the controller for one trace.
 struct TraceStats {
   std::uint64_t accesses = 0;
@@ -38,6 +52,7 @@ struct TraceStats {
   std::uint64_t precharges = 0;  ///< PRE commands issued
   std::uint64_t reads = 0;       ///< RD bursts
   std::uint64_t writes = 0;      ///< WR bursts
+  std::uint64_t refreshes = 0;   ///< all-bank REF commands within the makespan
   double total_time_ns = 0.0;    ///< makespan of the trace
 
   [[nodiscard]] double hit_rate() const noexcept {

@@ -36,6 +36,16 @@ EnergyBreakdown PowerModel::trace_energy(const dram::TraceStats& stats,
   return e;
 }
 
+EnergyBreakdown PowerModel::trace_energy(
+    const dram::TraceStats& stats, double v_supply,
+    const dram::RefreshPolicy& refresh) const {
+  if (!refresh.simulated()) return trace_energy(stats, v_supply);
+  EnergyBreakdown e = trace_energy(stats, v_supply);
+  e.refresh_nj = static_cast<double>(stats.refreshes) * p_.e_refresh_nj *
+                 dynamic_scale(v_supply);
+  return e;
+}
+
 double PowerModel::access_energy_nj(dram::RowBufferOutcome outcome,
                                     double v_supply,
                                     const dram::TimingParams& timing) const {

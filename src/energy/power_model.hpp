@@ -60,9 +60,21 @@ class PowerModel {
   /// V / V_nom — scaling of background power.
   [[nodiscard]] static double background_scale(double v_supply);
 
-  /// Energy of a whole simulated trace at the given supply voltage.
+  /// Energy of a whole simulated trace at the given supply voltage. Refresh
+  /// is charged by the legacy makespan-proportional estimate (one REF per
+  /// Params::t_refi_ns of makespan) — the idealization used when the
+  /// controller did not simulate refresh.
   [[nodiscard]] EnergyBreakdown trace_energy(const dram::TraceStats& stats,
                                              double v_supply) const;
+
+  /// Refresh-policy-aware variant. When the policy is simulated
+  /// (nominal/reduced) the refresh term charges the REF commands the
+  /// controller actually counted (`stats.refreshes`) — so a reduced-rate
+  /// policy shows its energy win directly; when the policy is disabled it
+  /// falls back to the legacy estimate above, byte for byte.
+  [[nodiscard]] EnergyBreakdown trace_energy(
+      const dram::TraceStats& stats, double v_supply,
+      const dram::RefreshPolicy& refresh) const;
 
   /// Energy of ONE access of the given row-buffer condition (Fig. 2b):
   /// command dynamic energy + I/O + background over the access latency

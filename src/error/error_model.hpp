@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "error/retention.hpp"
+
 namespace sparkxd::error {
 
 enum class ErrorModelKind : std::uint8_t {
@@ -38,6 +40,11 @@ struct ErrorModelSpec {
   /// Lognormal spread of the per-bitline (Model-1) / per-wordline (Model-2)
   /// weakness multipliers.
   double stripe_sigma = 1.0;
+  /// Retention-failure component (error/retention.hpp): an independent
+  /// refresh-axis error source that COMPOSES with all four voltage models —
+  /// the injector adds the retention-weak cells of the active refresh
+  /// interval on top of the voltage-weak cells. Disabled by default.
+  RetentionSpec retention;
 };
 
 /// Probability that a weak cell fails on a given read. The module BER is

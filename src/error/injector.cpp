@@ -55,7 +55,9 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
   SPARKXD_REQUIRE(spec.p0 >= 0.0 && spec.p0 <= 1.0 && spec.p1 >= 0.0 &&
                       spec.p1 <= 1.0,
                   "Model-3 flip probabilities must be probabilities");
-  if (max_ber == 0.0 || n_payload_bytes == 0) return;
+  spec.retention.validate();
+  const bool retention_on = spec.retention.enabled;
+  if (n_payload_bytes == 0 || (max_ber == 0.0 && !retention_on)) return;
 
   // Stripe multipliers (Model-1 / Model-2) are recomputed on demand from a
   // deterministic per-stripe hash: the flat stripe id is the same index a
@@ -68,6 +70,7 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
   const std::uint64_t wordline_seed = hash_combine(seed, 0x30BDULL);
 
   const std::uint64_t cell_seed = hash_combine(seed, 0xCE11ULL);
+  const std::uint64_t retention_seed = hash_combine(seed, 0x4E7E417ULL);
   const double threshold = 2.0 * max_ber;
   const std::uint32_t column_bits = geometry.column_bytes * 8;
 
@@ -89,6 +92,11 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
       dram::Address addr = placement[c];
       const std::uint64_t sub_id = subarray_id(geometry, addr);
       const double sub_weak = profile.weakness(sub_id);
+      // A chunk lives in one subarray, so its retention-failure probability
+      // is a single per-chunk constant.
+      const double p_retention =
+          retention_on ? retention_fail_probability(spec.retention, sub_weak)
+                       : 0.0;
       const std::uint64_t bank = bank_id(geometry, addr);
       const std::uint32_t brow = bank_row(geometry, addr);
       // A chunk lives in one row, so its wordline multiplier is one stripe.
@@ -106,6 +114,18 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
             (offset % geometry.column_bytes) * 8;
         for (std::uint32_t bit = 0; bit < 8; ++bit) {
           const std::uint32_t bit_in_column = byte_in_column + bit;
+          const std::uint64_t cell =
+              cell_bit_index(geometry, addr, bit_in_column);
+          // Retention failure takes precedence: a cell that leaks past the
+          // effective refresh window is weak regardless of voltage, and
+          // must not also appear as a voltage candidate (a duplicate would
+          // let two flips cancel).
+          if (retention_on &&
+              cell_score(retention_seed, cell) < p_retention) {
+            out.push_back({static_cast<std::uint32_t>(b),
+                           static_cast<std::uint8_t>(bit), kRetentionScore});
+            continue;
+          }
           // Per-cell weakness multiplier under the active model.
           double m = sub_weak;
           switch (spec.kind) {
@@ -125,8 +145,6 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
               break;
           }
           if (m <= 0.0) continue;
-          const std::uint64_t cell =
-              cell_bit_index(geometry, addr, bit_in_column);
           const double score = cell_score(cell_seed, cell) / m;
           if (score < threshold)
             out.push_back({static_cast<std::uint32_t>(b),
@@ -149,6 +167,11 @@ ErrorInjector::ErrorInjector(const dram::Geometry& geometry,
                          ? a.byte_index < b.byte_index
                          : a.bit < b.bit;
             });
+  // Retention candidates carry a negative score, so after the sort they are
+  // exactly the leading run.
+  while (retention_candidates_ < candidates_.size() &&
+         candidates_[retention_candidates_].score < 0.0)
+    ++retention_candidates_;
 }
 
 ErrorInjector ErrorInjector::for_weights(const dram::Geometry& geometry,

@@ -17,6 +17,17 @@
 //   * the SAME cells fail across training epochs, which is what lets
 //     fault-aware training learn around them.
 //
+// When the spec's RetentionSpec is enabled (reduced-refresh operation, see
+// error/retention.hpp) the enumeration additionally marks the cells whose
+// hashed retention time falls short of the effective refresh window. Those
+// candidates carry a negative score, so they are weak at EVERY injection
+// BER — the two approximation axes (voltage and refresh) compose by simple
+// union of their weak-cell sets, with retention taking precedence for cells
+// weak under both. A retention-failed cell reads back its *discharged*
+// level, which coincides with the stored value about half the time across
+// true-/anti-cell layouts — the same 0.5 flip probability the voltage weak
+// cells use, so both axes share one injection path.
+//
 // The injector is representation-agnostic: weak cells are enumerated at
 // byte granularity, so the same machinery corrupts FP32 weights
 // (inject / inject_all_weak) and quantized int8 weights or any other byte
@@ -84,9 +95,18 @@ class ErrorInjector {
   std::size_t inject_bytes(std::uint8_t* data, std::size_t n_bytes,
                            double ber, Rng& rng) const;
 
-  /// Number of weak-cell candidates enumerated (at max_ber).
+  /// Number of weak-cell candidates enumerated (at max_ber), including
+  /// retention failures.
   [[nodiscard]] std::size_t candidate_count() const noexcept {
     return candidates_.size();
+  }
+
+  /// Number of candidates that are retention failures (spec.retention):
+  /// cells whose retention time is shorter than the effective refresh
+  /// window. These are weak at EVERY injection BER, independent of the
+  /// voltage axis.
+  [[nodiscard]] std::size_t retention_candidate_count() const noexcept {
+    return retention_candidates_;
   }
 
   /// Expected number of bit flips per injection at `ber`.
@@ -104,6 +124,11 @@ class ErrorInjector {
     double score;              ///< weak at BER b iff score < 2*b
   };
 
+  /// Score assigned to retention-failure candidates: below every BER
+  /// threshold, so they are weak at any injection BER (they sort to the
+  /// front of the candidate list).
+  static constexpr double kRetentionScore = -1.0;
+
   static void sanitize_weight(float& w, const SanitizeRange& r) noexcept;
   /// Shared core of the FP32 paths.
   template <typename FlipDecision>
@@ -112,6 +137,7 @@ class ErrorInjector {
                             FlipDecision&& decide) const;
 
   std::vector<Candidate> candidates_;  ///< sorted ascending by score
+  std::size_t retention_candidates_ = 0;
   double max_ber_;
   std::size_t n_payload_bytes_;
   ErrorModelSpec spec_;

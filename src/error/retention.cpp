@@ -1,0 +1,32 @@
+#include "error/retention.hpp"
+
+#include <cmath>
+
+namespace sparkxd::error {
+
+void RetentionSpec::validate() const {
+  if (!enabled) return;
+  SPARKXD_REQUIRE(std::isfinite(interval_multiplier) &&
+                      interval_multiplier >= 1.0,
+                  "retention interval multiplier must be finite and >= 1");
+  SPARKXD_REQUIRE(std::isfinite(median_decades),
+                  "retention median must be finite");
+  SPARKXD_REQUIRE(std::isfinite(sigma_decades) && sigma_decades > 0.0,
+                  "retention sigma must be positive and finite");
+}
+
+double retention_fail_probability(const RetentionSpec& spec,
+                                  double subarray_weakness) {
+  if (!spec.enabled) return 0.0;
+  spec.validate();
+  SPARKXD_REQUIRE(subarray_weakness >= 0.0,
+                  "subarray weakness must be non-negative");
+  if (subarray_weakness == 0.0) return 0.0;  // infinitely strong subarray
+  const double z = (std::log10(spec.interval_multiplier) +
+                    std::log10(subarray_weakness) - spec.median_decades) /
+                   spec.sigma_decades;
+  // Standard normal CDF via erfc (numerically sound far into the tail).
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace sparkxd::error

@@ -19,7 +19,8 @@ void require_named(const std::string& name, const char* axis) {
 
 std::size_t ScenarioMatrix::size() const noexcept {
   return tasks.size() * sizes.size() * geometries.size() *
-         error_models.size() * voltage_grids.size() * seeds.size();
+         error_models.size() * refresh_policies.size() *
+         voltage_grids.size() * seeds.size();
 }
 
 std::vector<Scenario> ScenarioMatrix::expand() const {
@@ -27,11 +28,14 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   SPARKXD_REQUIRE(!sizes.empty(), "matrix size axis is empty");
   SPARKXD_REQUIRE(!geometries.empty(), "matrix geometry axis is empty");
   SPARKXD_REQUIRE(!error_models.empty(), "matrix error-model axis is empty");
+  SPARKXD_REQUIRE(!refresh_policies.empty(),
+                  "matrix refresh-policy axis is empty");
   SPARKXD_REQUIRE(!voltage_grids.empty(), "matrix voltage-grid axis is empty");
   SPARKXD_REQUIRE(!seeds.empty(), "matrix seed axis is empty");
   for (const auto& s : sizes) require_named(s.name, "size");
   for (const auto& g : geometries) require_named(g.name, "geometry");
   for (const auto& m : error_models) require_named(m.name, "error-model");
+  for (const auto& r : refresh_policies) require_named(r.name, "refresh");
   for (const auto& v : voltage_grids) require_named(v.name, "voltage-grid");
 
   std::vector<Scenario> out;
@@ -40,31 +44,36 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
     for (const auto& size : sizes)
       for (const auto& geom : geometries)
         for (const auto& model : error_models)
-          for (const auto& grid : voltage_grids)
-            for (const auto seed : seeds) {
-              Scenario s;
-              s.name = task_label(task) + "-" + size.name + "-" + geom.name +
-                       "-" + model.name;
-              if (voltage_grids.size() > 1) s.name += "-" + grid.name;
-              if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
-              s.description = task_label(task) + " task, " +
-                              std::to_string(size.n_neurons) + " neurons, " +
-                              geom.name + " DRAM, error model " + model.name;
-              s.task = task;
-              s.n_neurons = size.n_neurons;
-              s.train_samples = size.train_samples;
-              s.test_samples = size.test_samples;
-              s.baseline_epochs = size.baseline_epochs;
-              s.ber_stages = ber_stages;
-              s.eval_trials = eval_trials;
-              s.geometry = geom.geometry;
-              s.salp = geom.salp;
-              s.error_model = model.spec;
-              s.voltages = grid.voltages;
-              s.seed = seed;
-              s.validate();
-              out.push_back(std::move(s));
-            }
+          for (const auto& refresh : refresh_policies)
+            for (const auto& grid : voltage_grids)
+              for (const auto seed : seeds) {
+                Scenario s;
+                s.name = task_label(task) + "-" + size.name + "-" +
+                         geom.name + "-" + model.name;
+                if (refresh_policies.size() > 1) s.name += "-" + refresh.name;
+                if (voltage_grids.size() > 1) s.name += "-" + grid.name;
+                if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
+                s.description =
+                    task_label(task) + " task, " +
+                    std::to_string(size.n_neurons) + " neurons, " +
+                    geom.name + " DRAM, error model " + model.name +
+                    ", refresh " + refresh_label(refresh.policy);
+                s.task = task;
+                s.n_neurons = size.n_neurons;
+                s.train_samples = size.train_samples;
+                s.test_samples = size.test_samples;
+                s.baseline_epochs = size.baseline_epochs;
+                s.ber_stages = ber_stages;
+                s.eval_trials = eval_trials;
+                s.geometry = geom.geometry;
+                s.salp = geom.salp;
+                s.refresh = refresh.policy;
+                s.error_model = model.spec;
+                s.voltages = grid.voltages;
+                s.seed = seed;
+                s.validate();
+                out.push_back(std::move(s));
+              }
   return out;
 }
 

@@ -39,6 +39,12 @@ struct ErrorModelAxis {
   error::ErrorModelSpec spec;
 };
 
+/// Refresh-policy axis value (the second approximation axis).
+struct RefreshSpec {
+  std::string name;  ///< e.g. "nominal-refresh", "relaxed-refresh-8x"
+  dram::RefreshPolicy policy;
+};
+
 /// Voltage-grid axis value (strictly descending voltages). Defaults to the
 /// paper's five-point grid.
 struct VoltageGridSpec {
@@ -48,16 +54,18 @@ struct VoltageGridSpec {
 
 /// Axis lists plus the shared knobs every expanded scenario inherits.
 /// expand() iterates tasks (outermost), sizes, geometries, error models,
-/// voltage grids, seeds (innermost) and names each cell
-/// "<task>-<size>-<geometry>-<model>", appending "-<grid>" when the grid
-/// axis has more than one value and "-s<seed>" when the seed axis does, so
-/// single-valued axes keep names short and multi-valued axes keep them
-/// unique.
+/// refresh policies, voltage grids, seeds (innermost) and names each cell
+/// "<task>-<size>-<geometry>-<model>", appending "-<refresh>" when the
+/// refresh axis has more than one value, "-<grid>" when the grid axis does,
+/// and "-s<seed>" when the seed axis does, so single-valued axes keep names
+/// short and multi-valued axes keep them unique.
 struct ScenarioMatrix {
   std::vector<data::Task> tasks = {data::Task::kDigits};
   std::vector<SizeSpec> sizes;
   std::vector<GeometrySpec> geometries;
   std::vector<ErrorModelAxis> error_models;
+  std::vector<RefreshSpec> refresh_policies = {
+      {"ref-off", dram::RefreshPolicy::disabled()}};
   std::vector<VoltageGridSpec> voltage_grids = {VoltageGridSpec{}};
   std::vector<std::uint64_t> seeds = {42};
 

@@ -52,6 +52,10 @@ void write_config(json::Writer& w, const Scenario& s) {
   w.field("salp", s.salp);
   w.end_object();
   w.field("error_model", error::to_string(s.error_model.kind));
+  w.key("refresh").begin_object();
+  w.field("mode", dram::to_string(s.refresh.mode));
+  w.field("interval_multiplier", s.refresh.effective_multiplier());
+  w.end_object();
   w.key("voltages").begin_array();
   for (const double v : s.voltages) w.value(v);
   w.end_array();
@@ -87,6 +91,8 @@ void write_report(json::Writer& w, const core::PipelineReport& r) {
     w.field("row_hit_rate", v.row_hit_rate);
     w.field("safe_subarrays", v.safe_subarrays);
     w.field("capacity_relaxed", v.capacity_relaxed);
+    w.field("refreshes", v.refreshes);
+    w.field("retention_weak_cells", v.retention_weak_cells);
     w.end_object();
   }
   w.end_array();
@@ -127,8 +133,13 @@ std::string to_json(const std::vector<ScenarioResult>& results) {
 
 std::string digest(const ScenarioResult& result) {
   const auto& r = result.report;
+  // Refresh-axis fields are emitted only for scenarios that simulate
+  // refresh, so every pre-refresh-axis digest stays byte-identical.
+  const bool refresh_on = result.scenario.refresh.simulated();
   std::string d;
   d += "scenario=" + result.scenario.name + "\n";
+  if (refresh_on)
+    d += "refresh=" + refresh_label(result.scenario.refresh) + "\n";
   d += "baseline_accuracy=" + fixed(6, r.baseline_accuracy) + "\n";
   d += "improved_accuracy=" + fixed(6, r.improved_accuracy) + "\n";
   d += "ber_th=" + sci(3, r.ber_th) + "\n";
@@ -144,7 +155,12 @@ std::string digest(const ScenarioResult& result) {
     d += " speedup=" + fixed(4, v.speedup);
     d += " hit_rate=" + fixed(6, v.row_hit_rate);
     d += " safe=" + std::to_string(v.safe_subarrays);
-    d += std::string(" relaxed=") + (v.capacity_relaxed ? "1" : "0") + "\n";
+    d += std::string(" relaxed=") + (v.capacity_relaxed ? "1" : "0");
+    if (refresh_on) {
+      d += " ref=" + std::to_string(v.refreshes);
+      d += " retweak=" + std::to_string(v.retention_weak_cells);
+    }
+    d += "\n";
   }
   return d;
 }

@@ -17,7 +17,15 @@ core::PipelineConfig Scenario::pipeline_config() const {
   cfg.fault_training.eval_trials = eval_trials;
   cfg.geometry = geometry;
   cfg.salp = salp;
+  cfg.refresh = refresh;
   cfg.error_model = error_model;
+  // A simulated refresh policy brings its retention-failure errors along:
+  // the effective window stretches with the policy's interval multiplier.
+  if (refresh.simulated()) {
+    cfg.error_model.retention.enabled = true;
+    cfg.error_model.retention.interval_multiplier =
+        refresh.effective_multiplier();
+  }
   cfg.voltages = voltages;
   cfg.seed = seed;
   return cfg;
@@ -32,6 +40,15 @@ void Scenario::validate() const {
                             "' must use only [a-z0-9-] characters");
   }
   pipeline_config().validate();
+}
+
+std::string refresh_label(const dram::RefreshPolicy& policy) {
+  if (!policy.simulated()) return "off";
+  std::string mult = std::to_string(policy.effective_multiplier());
+  // Trim the trailing zeros std::to_string's fixed form produces.
+  mult.erase(mult.find_last_not_of('0') + 1);
+  if (!mult.empty() && mult.back() == '.') mult.pop_back();
+  return mult + "x";
 }
 
 const char* model_label(error::ErrorModelKind kind) noexcept {
@@ -91,10 +108,36 @@ Scenario smoke_fashion_salp_m1() {
   return s;
 }
 
+/// Golden-locked refresh-axis smoke runs: the nominal cadence (REF stalls
+/// on, retention errors negligible) and a 32x relaxed cadence (few REFs,
+/// visible retention errors) on the same tiny workloads as the voltage
+/// smokes.
+Scenario smoke_digits_m0_refresh() {
+  Scenario s = smoke_digits_m0();
+  s.name = "smoke-digits-m0-refresh";
+  s.description =
+      "tiny digits net, commodity DRAM, Model-0, nominal refresh — "
+      "golden-locked smoke run";
+  s.refresh = dram::RefreshPolicy::nominal();
+  return s;
+}
+
+Scenario smoke_fashion_salp_m1_refresh() {
+  Scenario s = smoke_fashion_salp_m1();
+  s.name = "smoke-fashion-salp-m1-refresh";
+  s.description =
+      "tiny fashion net, SALP DRAM, Model-1, 32x relaxed refresh — "
+      "golden-locked smoke run";
+  s.refresh = dram::RefreshPolicy::reduced(32.0);
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   all.push_back(smoke_digits_m0());
   all.push_back(smoke_fashion_salp_m1());
+  all.push_back(smoke_digits_m0_refresh());
+  all.push_back(smoke_fashion_salp_m1_refresh());
 
   const SizeSpec small{"small", 64, 250, 100, 1};
   const SizeSpec medium{"medium", 100, 400, 150, 2};
@@ -122,6 +165,22 @@ std::vector<Scenario> build_registry() {
       {"m1", model_spec(error::ErrorModelKind::kModel1Bitline)},
       {"m2", model_spec(error::ErrorModelKind::kModel2Wordline)}};
   for (auto& s : stripes.expand()) all.push_back(std::move(s));
+
+  // Refresh grid: the second approximation axis on the small nets across
+  // both tasks and organizations — nominal cadence plus two relaxed-refresh
+  // points in the retention decades the voltage axis also spans
+  // (12 scenarios, e.g. "digits-small-salp-m0-relaxed-refresh-32x").
+  ScenarioMatrix refresh_grid;
+  refresh_grid.tasks = {data::Task::kDigits, data::Task::kFashion};
+  refresh_grid.sizes = {small};
+  refresh_grid.geometries = {commodity, salp};
+  refresh_grid.error_models = {
+      {"m0", model_spec(error::ErrorModelKind::kModel0Uniform)}};
+  refresh_grid.refresh_policies = {
+      {"nominal-refresh", dram::RefreshPolicy::nominal()},
+      {"relaxed-refresh-8x", dram::RefreshPolicy::reduced(8.0)},
+      {"relaxed-refresh-32x", dram::RefreshPolicy::reduced(32.0)}};
+  for (auto& s : refresh_grid.expand()) all.push_back(std::move(s));
 
   for (const auto& s : all) s.validate();
   for (std::size_t i = 0; i < all.size(); ++i)

@@ -41,6 +41,11 @@ struct Scenario {
 
   dram::Geometry geometry = dram::Geometry::lpddr3_4gb();
   bool salp = false;  ///< per-subarray row buffers (§IV-D)
+  /// Refresh axis: disabled (default, pre-refresh behavior), nominal, or
+  /// reduced-rate. A simulated policy also enables the retention-failure
+  /// error component at the matching interval multiplier when lowering to a
+  /// PipelineConfig, so timing, energy, and error injection stay coupled.
+  dram::RefreshPolicy refresh;
   error::ErrorModelSpec error_model;
   /// Strictly descending supply-voltage grid (paper: 1.325 .. 1.025 V).
   std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
@@ -54,12 +59,15 @@ struct Scenario {
   void validate() const;
 };
 
-/// Names of the two tiny scenarios whose digests live in tests/golden/.
+/// Names of the tiny scenarios whose digests live in tests/golden/.
 /// They finish in well under a second each, so tests and CI can afford to
-/// run them at several thread counts.
+/// run them at several thread counts. The two `-refresh` entries lock down
+/// the refresh/retention axis (nominal cadence and 32x relaxed refresh).
 inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-digits-m0",
     "smoke-fashion-salp-m1",
+    "smoke-digits-m0-refresh",
+    "smoke-fashion-salp-m1-refresh",
 };
 
 /// The built-in registry: ≥10 scenarios covering the evaluation grid, in a
@@ -75,5 +83,8 @@ inline constexpr std::string_view kGoldenScenarios[] = {
 
 /// Short axis label of an error model kind: "m0".."m3".
 [[nodiscard]] const char* model_label(error::ErrorModelKind kind) noexcept;
+
+/// Short axis label of a refresh policy: "off", "1x", "8x", "8.5x", ...
+[[nodiscard]] std::string refresh_label(const dram::RefreshPolicy& policy);
 
 }  // namespace sparkxd::scenario

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "common/env.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -354,6 +358,66 @@ TEST(Env, ScaledAppliesFloor) {
   EXPECT_EQ(scaled(100, 10), 200u);
   ::unsetenv("SPARKXD_SCALE");
   EXPECT_EQ(scaled(100, 10), 100u);
+}
+
+// ---------------------------------------------------------------- JSON core
+// The scenario reports diff serialized bytes across thread counts and
+// against checked-in goldens, so json::number must be byte-stable over the
+// whole finite double range and must refuse the two values that have no
+// JSON spelling at all.
+
+TEST(Json, RejectsNonFiniteDoublesWithClearError) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    try {
+      (void)json::number(bad);
+      FAIL() << "json::number accepted " << bad;
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+    }
+  }
+  // The Writer's double path inherits the rejection.
+  json::Writer w;
+  w.begin_object().key("x");
+  EXPECT_THROW(w.value(std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+}
+
+TEST(Json, ExtremeMagnitudesRoundTripByteStably) {
+  // Shortest-round-trip to_chars output: parsing the text and re-rendering
+  // must reproduce the exact bytes, even at the edges of the double range.
+  for (const double v :
+       {1e-300, 1e300, -1e-300, -1e300, 5e-324 /* min subnormal */,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(), 0.1, 1.0 / 3.0}) {
+    const std::string text = json::number(v);
+    const double reparsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(reparsed, v) << text;
+    EXPECT_EQ(json::number(reparsed), text) << "unstable rendering of " << v;
+  }
+  EXPECT_EQ(json::number(1e-300), "1e-300");
+  EXPECT_EQ(json::number(1e300), "1e+300");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  // Every byte below 0x20 must come out escaped; the C-style shorthands for
+  // the common ones, \u00xx for the rest.
+  EXPECT_EQ(json::escape(std::string_view("\x00\x01\x1f", 3)),
+            "\\u0000\\u0001\\u001f");
+  EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json::escape("a\b\f\n\r"), "a\\b\\f\\n\\r");
+  EXPECT_EQ(json::escape("quote\" back\\slash"), "quote\\\" back\\\\slash");
+  // 0x7f and non-ASCII bytes pass through untouched (JSON strings are UTF-8).
+  EXPECT_EQ(json::escape("\x7f\xc3\xa9"), "\x7f\xc3\xa9");
+  // Escaped control characters survive a full Writer round through a key
+  // and a value without breaking nesting.
+  json::Writer w(/*pretty=*/false);
+  w.begin_object().field(std::string_view("k\n", 2),
+                         std::string_view("v\x01", 2));
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "{\"k\\n\":\"v\\u0001\"}");
 }
 
 // ----------------------------------------------------------------- contracts

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "dram/controller.hpp"
@@ -313,6 +318,212 @@ TEST_P(RandomTraces, RunResetsStateBetweenCalls) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraces,
                          ::testing::Values(1u, 7u, 42u, 1337u, 9001u));
+
+// ------------------------------------------------------------------ refresh
+
+TEST(Refresh, PolicyValidation) {
+  const auto t = timing();
+  EXPECT_NO_THROW(RefreshPolicy::disabled().validate(t));
+  EXPECT_NO_THROW(RefreshPolicy::nominal().validate(t));
+  EXPECT_NO_THROW(RefreshPolicy::reduced(16.0).validate(t));
+  EXPECT_THROW(RefreshPolicy::reduced(0.5).validate(t), ContractViolation);
+  EXPECT_THROW(RefreshPolicy::reduced(
+                   std::numeric_limits<double>::infinity()).validate(t),
+               ContractViolation);
+  auto broken = t;
+  broken.t_rfc = broken.t_refi + 1.0;  // REF longer than the interval
+  EXPECT_THROW(RefreshPolicy::nominal().validate(broken), ContractViolation);
+}
+
+TEST(Refresh, EffectiveInterval) {
+  const auto t = timing();
+  EXPECT_DOUBLE_EQ(RefreshPolicy::nominal().effective_refi_ns(t), t.t_refi);
+  EXPECT_DOUBLE_EQ(RefreshPolicy::reduced(8.0).effective_refi_ns(t),
+                   8.0 * t.t_refi);
+}
+
+TEST(Refresh, NextOutsideRefreshWindowArithmetic) {
+  const auto t = timing();
+  Controller c(geom(), t, false, RefreshPolicy::nominal());
+  // Before the first REF: identity.
+  EXPECT_DOUBLE_EQ(c.next_outside_refresh(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.next_outside_refresh(t.t_refi - 1.0), t.t_refi - 1.0);
+  // Inside window k = 1: pushed to its end.
+  EXPECT_DOUBLE_EQ(c.next_outside_refresh(t.t_refi), t.t_refi + t.t_rfc);
+  EXPECT_DOUBLE_EQ(c.next_outside_refresh(t.t_refi + t.t_rfc / 2),
+                   t.t_refi + t.t_rfc);
+  // At the window end: open again.
+  EXPECT_DOUBLE_EQ(c.next_outside_refresh(t.t_refi + t.t_rfc),
+                   t.t_refi + t.t_rfc);
+  // Disabled refresh: identity everywhere.
+  Controller off(geom(), t);
+  EXPECT_DOUBLE_EQ(off.next_outside_refresh(t.t_refi), t.t_refi);
+}
+
+TEST(Refresh, StallsAccessLandingInsideTheWindow) {
+  const auto t = timing();
+  Controller c(geom(), t, false, RefreshPolicy::nominal());
+  // Second access arrives just as REF #1 starts: its ACT waits out tRFC.
+  const auto stats = c.run({rd(0, 0, 0, 0), rd(1, 0, 0, 0)}, t.t_refi);
+  const double expected =
+      t.t_refi + t.t_rfc + t.t_rcd + t.t_cl + t.t_burst;
+  EXPECT_NEAR(stats.total_time_ns, expected, 1e-9);
+  EXPECT_EQ(stats.refreshes, 1u);
+}
+
+TEST(Refresh, NominalCadenceSlowsLongTracesAndCountsRefs) {
+  AccessTrace trace;
+  for (std::uint32_t r = 0; r < 64; ++r)
+    for (std::uint32_t b = 0; b < 64; ++b) trace.push_back(rd(0, 0, r, b * 8));
+  Controller off(geom(), timing());
+  Controller on(geom(), timing(), false, RefreshPolicy::nominal());
+  Controller relaxed(geom(), timing(), false, RefreshPolicy::reduced(8.0));
+  const auto s_off = off.run(trace);
+  const auto s_on = on.run(trace);
+  const auto s_relaxed = relaxed.run(trace);
+  EXPECT_EQ(s_off.refreshes, 0u);
+  EXPECT_GT(s_on.refreshes, 0u);
+  EXPECT_GT(s_on.total_time_ns, s_off.total_time_ns);
+  // Relaxing the cadence recovers most of the stall time and cuts REFs.
+  EXPECT_LT(s_relaxed.refreshes, s_on.refreshes);
+  EXPECT_LE(s_relaxed.total_time_ns, s_on.total_time_ns);
+  // Classification is purely address-driven: identical with refresh on.
+  EXPECT_EQ(s_on.hits, s_off.hits);
+  EXPECT_EQ(s_on.misses, s_off.misses);
+  EXPECT_EQ(s_on.conflicts, s_off.conflicts);
+}
+
+// --------------------------------------- randomized refresh timing invariants
+
+class RefreshProperties
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(RefreshProperties, TimingInvariantsHoldWithRefreshOn) {
+  const auto [seed, multiplier] = GetParam();
+  const auto t = timing();
+  const RefreshPolicy policy = multiplier == 1.0
+                                   ? RefreshPolicy::nominal()
+                                   : RefreshPolicy::reduced(multiplier);
+  for (const bool salp_mode : {false, true}) {
+    Controller c(geom(), t, salp_mode, policy);
+    const auto trace = random_trace(seed, 2000);
+    std::vector<AccessTiming> timeline;
+    // A mild arrival interval spreads the trace past several REF windows
+    // (makespan >= 2000 x 25 ns = 50 us > 4 x tREFI).
+    const auto stats = c.run(trace, 25.0, &timeline);
+    ASSERT_EQ(timeline.size(), trace.size());
+
+    const double refi = policy.effective_refi_ns(t);
+    const auto inside_window = [&](double at) {
+      const double k = std::floor(at / refi);
+      return k >= 1.0 && at >= k * refi && at < k * refi + t.t_rfc;
+    };
+    double prev_end = 0.0;
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      const auto& a = timeline[i];
+      // Completion times are monotonically non-decreasing (the shared bus
+      // serializes bursts in trace order).
+      EXPECT_GE(a.data_end_ns, prev_end) << "access " << i;
+      prev_end = a.data_end_ns;
+      // No command is serviced inside a [REF, REF + tRFC) window.
+      if (a.pre_ns >= 0.0) {
+        EXPECT_FALSE(inside_window(a.pre_ns)) << "PRE of access " << i;
+      }
+      if (a.act_ns >= 0.0) {
+        EXPECT_FALSE(inside_window(a.act_ns)) << "ACT of access " << i;
+      }
+      EXPECT_FALSE(inside_window(a.cmd_ns)) << "RD of access " << i;
+      EXPECT_NEAR(a.data_start_ns, a.cmd_ns + t.t_cl, 1e-9);
+      EXPECT_NEAR(a.data_end_ns, a.data_start_ns + t.t_burst, 1e-9);
+    }
+    // The REF counter matches the windows the makespan spans.
+    EXPECT_EQ(stats.refreshes,
+              static_cast<std::uint64_t>(
+                  std::floor(stats.total_time_ns / refi)));
+    EXPECT_GT(stats.refreshes, 0u) << "trace too short to exercise refresh";
+  }
+}
+
+TEST_P(RefreshProperties, DisabledPolicyReproducesRefreshFreeRunBitForBit) {
+  const auto [seed, multiplier] = GetParam();
+  (void)multiplier;
+  for (const bool salp_mode : {false, true}) {
+    Controller legacy(geom(), timing(), salp_mode);  // pre-refresh ctor
+    Controller off(geom(), timing(), salp_mode, RefreshPolicy::disabled());
+    const auto trace = random_trace(seed, 500);
+    std::vector<AccessTiming> tl_legacy, tl_off;
+    const auto a = legacy.run(trace, 3.0, &tl_legacy);
+    const auto b = off.run(trace, 3.0, &tl_off);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.conflicts, b.conflicts);
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.refreshes, 0u);
+    EXPECT_EQ(b.refreshes, 0u);
+    EXPECT_EQ(a.total_time_ns, b.total_time_ns);  // exact, not approximate
+    ASSERT_EQ(tl_legacy.size(), tl_off.size());
+    for (std::size_t i = 0; i < tl_legacy.size(); ++i) {
+      EXPECT_EQ(tl_legacy[i].data_start_ns, tl_off[i].data_start_ns);
+      EXPECT_EQ(tl_legacy[i].data_end_ns, tl_off[i].data_end_ns);
+      EXPECT_EQ(tl_legacy[i].act_ns, tl_off[i].act_ns);
+      EXPECT_EQ(tl_legacy[i].pre_ns, tl_off[i].pre_ns);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMultipliers, RefreshProperties,
+    ::testing::Combine(::testing::Values(3u, 19u, 271u, 6553u),
+                       ::testing::Values(1.0, 4.0)));
+
+// ------------------------------------------- classify() vs run() differential
+
+class ClassifyDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassifyDifferential, ClassifyAgreesWithRunForHeadOfTraceProbes) {
+  // For a random single-access probe X against the state a prefix trace T
+  // leaves behind, classify(X) must name exactly the outcome run() records
+  // for X when it is appended to T — on commodity and SALP organizations,
+  // with refresh off and on (refresh stalls time but never reclassifies).
+  Rng rng(GetParam());
+  const auto prefix = random_trace(GetParam(), 200);
+  for (const bool salp_mode : {false, true}) {
+    for (const RefreshPolicy policy :
+         {RefreshPolicy::disabled(), RefreshPolicy::nominal(),
+          RefreshPolicy::reduced(16.0)}) {
+      Controller c(geom(), timing(), salp_mode, policy);
+      (void)c.run(prefix, 4.0);  // leaves head-of-trace state behind
+      for (int probe = 0; probe < 50; ++probe) {
+        const Access x = rd(static_cast<std::uint32_t>(rng.index(8)),
+                            static_cast<std::uint32_t>(rng.index(4)),
+                            static_cast<std::uint32_t>(rng.index(8)),
+                            static_cast<std::uint32_t>(rng.index(64)) * 8);
+        const auto predicted = c.classify(x);
+
+        auto extended = prefix;
+        extended.push_back(x);
+        Controller fresh(geom(), timing(), salp_mode, policy);
+        const auto with = fresh.run(extended, 4.0);
+        Controller fresh2(geom(), timing(), salp_mode, policy);
+        const auto without = fresh2.run(prefix, 4.0);
+        RowBufferOutcome actual;
+        if (with.hits > without.hits)
+          actual = RowBufferOutcome::kHit;
+        else if (with.misses > without.misses)
+          actual = RowBufferOutcome::kMiss;
+        else
+          actual = RowBufferOutcome::kConflict;
+        EXPECT_EQ(predicted, actual)
+            << "salp=" << salp_mode << " refresh=" << int(policy.mode)
+            << " probe=" << probe;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifyDifferential,
+                         ::testing::Values(11u, 77u, 4242u));
 
 }  // namespace
 }  // namespace sparkxd::dram

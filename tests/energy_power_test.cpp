@@ -141,6 +141,40 @@ TEST(PowerModel, RejectsNonPositiveVoltage) {
   EXPECT_THROW((void)PowerModel::background_scale(-1.0), ContractViolation);
 }
 
+TEST(PowerModel, RefreshPolicyAwareTraceEnergy) {
+  const PowerModel pm;
+  dram::TraceStats s;
+  s.reads = 100;
+  s.activates = 5;
+  s.precharges = 5;
+  s.total_time_ns = 20000.0;  // legacy estimate: floor(20000/7800) = 2 REFs
+  s.refreshes = 3;            // as counted by a refresh-simulating controller
+  // Disabled policy falls back to the legacy makespan estimate, byte for
+  // byte.
+  const auto legacy = pm.trace_energy(s, kNominalVdd);
+  const auto off =
+      pm.trace_energy(s, kNominalVdd, dram::RefreshPolicy::disabled());
+  EXPECT_EQ(off.refresh_nj, legacy.refresh_nj);
+  EXPECT_DOUBLE_EQ(legacy.refresh_nj, 2.0 * pm.params().e_refresh_nj);
+  // Simulated policies charge the counted REF commands instead.
+  const auto nominal =
+      pm.trace_energy(s, kNominalVdd, dram::RefreshPolicy::nominal());
+  EXPECT_DOUBLE_EQ(nominal.refresh_nj, 3.0 * pm.params().e_refresh_nj);
+  // Refresh charge is array work: V^2 scaling like ACT/PRE.
+  const auto reduced_low_v =
+      pm.trace_energy(s, 1.025, dram::RefreshPolicy::reduced(8.0));
+  EXPECT_DOUBLE_EQ(reduced_low_v.refresh_nj,
+                   3.0 * pm.params().e_refresh_nj *
+                       PowerModel::dynamic_scale(1.025));
+  // Fewer REFs -> proportionally less refresh energy (the reduced-rate win).
+  dram::TraceStats relaxed = s;
+  relaxed.refreshes = 1;
+  EXPECT_LT(pm.trace_energy(relaxed, kNominalVdd,
+                            dram::RefreshPolicy::reduced(3.0))
+                .refresh_nj,
+            nominal.refresh_nj);
+}
+
 // ------------------------------------------------------------ platform model
 
 TEST(PlatformModel, ThreePlatformsOfFig1b) {

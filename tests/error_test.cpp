@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
@@ -338,6 +340,149 @@ TEST(ErrorModels, Model3PrefersSetBits) {
   const auto flips_ones = inj.inject(ones, 1e-3, rng, wide);
   const auto flips_zeros = inj.inject(zeros, 1e-3, rng, wide);
   EXPECT_GT(flips_ones, flips_zeros * 5);
+}
+
+// ----------------------------------------------------------------- retention
+
+RetentionSpec retention_at(double multiplier) {
+  RetentionSpec r;
+  r.enabled = true;
+  r.interval_multiplier = multiplier;
+  return r;
+}
+
+ErrorModelSpec spec_with_retention(double multiplier) {
+  ErrorModelSpec spec;
+  spec.retention = retention_at(multiplier);
+  return spec;
+}
+
+TEST(Retention, FailProbabilityShape) {
+  // Disabled: exactly zero. Nominal cadence on an average subarray:
+  // negligible (~1e-8). Each relaxation step raises it monotonically, as
+  // does subarray weakness.
+  EXPECT_EQ(retention_fail_probability(RetentionSpec{}, 1.0), 0.0);
+  const double p1 = retention_fail_probability(retention_at(1.0), 1.0);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LT(p1, 1e-6);
+  double prev = p1;
+  for (const double m : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const double p = retention_fail_probability(retention_at(m), 1.0);
+    EXPECT_GT(p, prev) << "multiplier " << m;
+    prev = p;
+  }
+  // 32x relaxation lands in the same decades as the voltage axis's BERs.
+  const double p32 = retention_fail_probability(retention_at(32.0), 1.0);
+  EXPECT_GT(p32, 1e-4);
+  EXPECT_LT(p32, 1e-2);
+  // Weak subarrays leak faster.
+  EXPECT_GT(retention_fail_probability(retention_at(8.0), 4.0),
+            retention_fail_probability(retention_at(8.0), 1.0));
+  EXPECT_EQ(retention_fail_probability(retention_at(8.0), 0.0), 0.0);
+}
+
+TEST(Retention, SpecValidation) {
+  EXPECT_NO_THROW(RetentionSpec{}.validate());  // disabled: anything goes
+  EXPECT_NO_THROW(retention_at(64.0).validate());
+  EXPECT_THROW(retention_at(0.5).validate(), ContractViolation);
+  auto bad_sigma = retention_at(8.0);
+  bad_sigma.sigma_decades = 0.0;
+  EXPECT_THROW(bad_sigma.validate(), ContractViolation);
+}
+
+TEST(Retention, InjectorEnumeratesRetentionCandidates) {
+  InjectorFixture f;
+  // Voltage axis quiet (tiny max BER), retention relaxed 32x: candidates
+  // are (almost) purely retention failures, deterministic per seed.
+  const auto inj = ErrorInjector::for_weights(
+      f.g, f.profile, spec_with_retention(32.0), f.placement, f.n_weights,
+      42, 1e-12);
+  EXPECT_GT(inj.retention_candidate_count(), 0u);
+  EXPECT_LE(inj.retention_candidate_count(), inj.candidate_count());
+  // ~p32 * 6.4M cells. The band is wide: the baseline placement packs the
+  // payload into very few subarrays, so the draw of their weakness
+  // multipliers moves the count through the nonlinear tail of Phi.
+  const double p32 = retention_fail_probability(retention_at(32.0), 1.0);
+  const double expected = p32 * static_cast<double>(f.n_weights) * 32;
+  EXPECT_GT(static_cast<double>(inj.retention_candidate_count()),
+            expected / 50);
+  EXPECT_LT(static_cast<double>(inj.retention_candidate_count()),
+            expected * 50);
+  // Nominal cadence: the same payload carries (essentially) none.
+  const auto nominal = ErrorInjector::for_weights(
+      f.g, f.profile, spec_with_retention(1.0), f.placement, f.n_weights,
+      42, 1e-12);
+  EXPECT_LT(nominal.retention_candidate_count(), 5u);
+  // Determinism in the seed.
+  const auto again = ErrorInjector::for_weights(
+      f.g, f.profile, spec_with_retention(32.0), f.placement, f.n_weights,
+      42, 1e-12);
+  EXPECT_EQ(again.retention_candidate_count(),
+            inj.retention_candidate_count());
+}
+
+TEST(Retention, WeakSetsAreNestedAcrossMultipliers) {
+  // A cell that leaks past an 8x window also leaks past a 32x window: the
+  // deterministic per-cell uniform is compared against a larger probability,
+  // so the flipped set at 8x is a subset of the one at 32x.
+  InjectorFixture f;
+  const auto flipped_at = [&](double multiplier) {
+    const auto inj = ErrorInjector::for_weights(
+        f.g, f.profile, spec_with_retention(multiplier), f.placement,
+        f.n_weights, 42, 1e-12);
+    auto w = f.weights;
+    (void)inj.inject_all_weak(w, 1e-12);
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      if (w[i] != f.weights[i]) idx.push_back(i);
+    return idx;
+  };
+  const auto at8 = flipped_at(8.0);
+  const auto at32 = flipped_at(32.0);
+  ASSERT_FALSE(at32.empty());
+  EXPECT_LT(at8.size(), at32.size());
+  for (const auto i : at8)
+    EXPECT_TRUE(std::binary_search(at32.begin(), at32.end(), i))
+        << "weight " << i << " flipped at 8x but not at 32x";
+}
+
+TEST(Retention, ComposesWithVoltageWeakCellsWithoutDuplicates) {
+  InjectorFixture f;
+  const auto voltage_only = ErrorInjector::for_weights(
+      f.g, f.profile, {}, f.placement, f.n_weights, 42, 1e-3);
+  const auto composed = ErrorInjector::for_weights(
+      f.g, f.profile, spec_with_retention(32.0), f.placement, f.n_weights,
+      42, 1e-3);
+  // The union grows and the retention share is accounted.
+  EXPECT_GT(composed.candidate_count(), voltage_only.candidate_count());
+  EXPECT_GT(composed.retention_candidate_count(), 0u);
+  // No duplicate candidates: every reported flip changes a distinct bit, so
+  // the number of changed bits equals the flip count (duplicates would
+  // cancel pairwise and undercount). The full-float range keeps the
+  // sanitizer from clamping extra bits away.
+  auto w = f.weights;
+  const auto flips = composed.inject_all_weak(
+      w, 1e-3,
+      {-std::numeric_limits<float>::max(), std::numeric_limits<float>::max()});
+  std::size_t changed_bits = 0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    changed_bits += static_cast<std::size_t>(
+        std::popcount(float_to_bits(w[i]) ^ float_to_bits(f.weights[i])));
+  EXPECT_EQ(changed_bits, flips);
+}
+
+TEST(Retention, RetentionCellsFlipAtAnyInjectionBer) {
+  // Retention failures do not care about the voltage: they flip even when
+  // the injection BER is zero (the bank is at nominal voltage but the
+  // refresh interval is relaxed).
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(
+      f.g, f.profile, spec_with_retention(32.0), f.placement, f.n_weights,
+      42, 0.0);
+  EXPECT_GT(inj.retention_candidate_count(), 0u);
+  auto w = f.weights;
+  const auto flips = inj.inject_all_weak(w, 0.0);
+  EXPECT_EQ(flips, inj.retention_candidate_count());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -87,9 +88,12 @@ TEST(JsonWriter, NumberFormattingIsShortestRoundTrip) {
   EXPECT_EQ(json::number(1e-5), "1e-05");
   EXPECT_EQ(json::number(1.25), "1.25");
   EXPECT_EQ(json::number(0.0), "0");
-  // NaN / inf are not JSON numbers.
-  EXPECT_EQ(json::number(std::numeric_limits<double>::quiet_NaN()), "null");
-  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+  // NaN / inf are not JSON numbers — a clear error beats a silent null
+  // (common_test locks down the message; the full coverage lives there).
+  EXPECT_THROW((void)json::number(std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+  EXPECT_THROW((void)json::number(std::numeric_limits<double>::infinity()),
+               ContractViolation);
 }
 
 TEST(JsonWriter, RejectsMalformedNesting) {
@@ -148,8 +152,46 @@ TEST(Registry, FindAndMatch) {
   EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
   const auto smoke = match_scenarios("smoke");
-  EXPECT_EQ(smoke.size(), 2u);
+  EXPECT_EQ(smoke.size(), 4u);
   EXPECT_TRUE(match_scenarios("zzz").empty());
+}
+
+TEST(Registry, CoversTheRefreshAxis) {
+  // The refresh grid contributes nominal and relaxed-refresh scenarios; the
+  // pre-existing cells keep the disabled (legacy) policy.
+  std::size_t disabled = 0, nominal = 0, reduced = 0;
+  for (const auto& s : builtin_scenarios()) {
+    switch (s.refresh.mode) {
+      case dram::RefreshMode::kDisabled: ++disabled; break;
+      case dram::RefreshMode::kNominal: ++nominal; break;
+      case dram::RefreshMode::kReduced: ++reduced; break;
+    }
+  }
+  EXPECT_GE(disabled, 10u);
+  EXPECT_GE(nominal, 2u);
+  EXPECT_GE(reduced, 4u);
+  EXPECT_FALSE(match_scenarios("relaxed-refresh").empty());
+}
+
+TEST(Scenario, LoweringCouplesRefreshAndRetention) {
+  const auto* relaxed = find_scenario("smoke-fashion-salp-m1-refresh");
+  ASSERT_NE(relaxed, nullptr);
+  const auto cfg = relaxed->pipeline_config();
+  EXPECT_EQ(cfg.refresh.mode, dram::RefreshMode::kReduced);
+  EXPECT_TRUE(cfg.error_model.retention.enabled);
+  EXPECT_DOUBLE_EQ(cfg.error_model.retention.interval_multiplier, 32.0);
+
+  // Legacy scenarios lower with refresh and retention both off.
+  const auto legacy_cfg = find_scenario("smoke-digits-m0")->pipeline_config();
+  EXPECT_EQ(legacy_cfg.refresh.mode, dram::RefreshMode::kDisabled);
+  EXPECT_FALSE(legacy_cfg.error_model.retention.enabled);
+}
+
+TEST(Scenario, RefreshLabels) {
+  EXPECT_EQ(refresh_label(dram::RefreshPolicy::disabled()), "off");
+  EXPECT_EQ(refresh_label(dram::RefreshPolicy::nominal()), "1x");
+  EXPECT_EQ(refresh_label(dram::RefreshPolicy::reduced(8.0)), "8x");
+  EXPECT_EQ(refresh_label(dram::RefreshPolicy::reduced(8.5)), "8.5x");
 }
 
 TEST(Registry, GoldenScenariosExistAndAreFast) {
@@ -189,8 +231,9 @@ ScenarioMatrix small_matrix() {
   m.sizes = {{"tiny", 25, 100, 50, 1}};
   m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false},
                   {"salp", dram::Geometry::lpddr3_4gb(), true}};
-  m.error_models = {{"m0", {}},
-                    {"m1", {error::ErrorModelKind::kModel1Bitline}}};
+  error::ErrorModelSpec m1;
+  m1.kind = error::ErrorModelKind::kModel1Bitline;
+  m.error_models = {{"m0", {}}, {"m1", m1}};
   return m;
 }
 
@@ -228,6 +271,25 @@ TEST(Matrix, SeedAxisSuffixesNamesOnlyWhenMultiValued) {
   EXPECT_EQ(scenarios[1].name, "digits-tiny-commodity-m0-s2");
 }
 
+TEST(Matrix, RefreshAxisSuffixesNamesOnlyWhenMultiValued) {
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.refresh_policies = {{"nominal-refresh", dram::RefreshPolicy::nominal()},
+                        {"relaxed-refresh-8x", dram::RefreshPolicy::reduced(8.0)}};
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].name, "digits-tiny-commodity-m0-nominal-refresh");
+  EXPECT_EQ(scenarios[1].name, "digits-tiny-commodity-m0-relaxed-refresh-8x");
+  EXPECT_EQ(scenarios[0].refresh.mode, dram::RefreshMode::kNominal);
+  EXPECT_DOUBLE_EQ(scenarios[1].refresh.interval_multiplier, 8.0);
+  // Single-valued refresh axis (the default) leaves names untouched.
+  auto single = small_matrix();
+  for (const auto& s : single.expand())
+    EXPECT_EQ(s.name.find("ref"), std::string::npos) << s.name;
+}
+
 TEST(Matrix, RejectsEmptyAxes) {
   auto m = small_matrix();
   m.sizes.clear();
@@ -242,12 +304,14 @@ TEST(Matrix, RejectsEmptyAxes) {
 
 // ---------------------------------------------------- runner + golden files
 
+constexpr std::size_t kGoldenCount = std::size(kGoldenScenarios);
+
 /// Runs one golden scenario once per binary invocation and caches the
 /// result — several tests below reuse it.
 const ScenarioResult& golden_result(std::size_t which) {
-  static ScenarioResult cache[2];
-  static bool done[2] = {false, false};
-  SPARKXD_REQUIRE(which < 2, "two golden scenarios");
+  static ScenarioResult cache[kGoldenCount];
+  static bool done[kGoldenCount] = {};
+  SPARKXD_REQUIRE(which < kGoldenCount, "golden scenario index out of range");
   if (!done[which]) {
     const auto* s = find_scenario(kGoldenScenarios[which]);
     SPARKXD_REQUIRE(s != nullptr, "golden scenario missing from registry");
@@ -269,8 +333,12 @@ TEST(Runner, ResultsComeBackInInputOrder) {
   EXPECT_GT(results[0].report.baseline_accuracy, 0.0);
 }
 
-TEST(Runner, JsonAndDigestAreThreadCountInvariant) {
-  const auto* s = find_scenario("smoke-digits-m0");
+class ThreadInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadInvariance, JsonAndDigestAreThreadCountInvariant) {
+  // Every golden scenario — including both refresh-axis ones — must produce
+  // byte-identical JSON and digests at 1 and 8 threads.
+  const auto* s = find_scenario(kGoldenScenarios[GetParam()]);
   ASSERT_NE(s, nullptr);
   std::string json_1, json_8, digest_1, digest_8;
   {
@@ -289,6 +357,9 @@ TEST(Runner, JsonAndDigestAreThreadCountInvariant) {
   EXPECT_EQ(digest_1, digest_8);  // and digest
 }
 
+INSTANTIATE_TEST_SUITE_P(AllGoldenScenarios, ThreadInvariance,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
 TEST(Runner, DigestIsCompactAndLabelled) {
   const auto& r = golden_result(0);
   const auto d = digest(r);
@@ -301,6 +372,19 @@ TEST(Runner, DigestIsCompactAndLabelled) {
        ++pos)
     ++lines;
   EXPECT_EQ(lines, r.report.per_voltage.size());
+}
+
+TEST(Runner, DigestEmitsRefreshFieldsOnlyForRefreshScenarios) {
+  // Pre-refresh-axis digests must not change shape (the checked-in goldens
+  // depend on it); refresh scenarios gain the refresh=, ref= and retweak=
+  // fields.
+  const auto legacy = digest(golden_result(0));
+  EXPECT_EQ(legacy.find("refresh="), std::string::npos);
+  EXPECT_EQ(legacy.find(" ref="), std::string::npos);
+  const auto relaxed = digest(golden_result(3));
+  EXPECT_NE(relaxed.find("refresh=32x\n"), std::string::npos);
+  EXPECT_NE(relaxed.find(" ref="), std::string::npos);
+  EXPECT_NE(relaxed.find(" retweak="), std::string::npos);
 }
 
 TEST(Runner, RejectsInvalidScenario) {
@@ -335,8 +419,8 @@ TEST_P(GoldenReport, DigestMatchesCheckedInGolden) {
          "  ./build/scenario_test --update-golden\nand commit the diff.";
 }
 
-INSTANTIATE_TEST_SUITE_P(BothGoldenScenarios, GoldenReport,
-                         ::testing::Values(0u, 1u));
+INSTANTIATE_TEST_SUITE_P(AllGoldenScenarios, GoldenReport,
+                         ::testing::Values(0u, 1u, 2u, 3u));
 
 }  // namespace
 }  // namespace sparkxd::scenario
