@@ -43,6 +43,8 @@ void print_usage(std::FILE* to) {
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --digest           print golden digests of the results to stdout\n"
       "                     (mutually exclusive with --out -)\n"
+      "  --timings          print per-phase wall-clock timings to stderr\n"
+      "                     (never part of the JSON report or digests)\n"
       "  --help             this message\n"
       "\nWith no selection option, --list shows every scenario; running\n"
       "requires an explicit --scenario/--filter/--all selection.\n");
@@ -96,7 +98,7 @@ std::string refresh_suffix(const sparkxd::dram::RefreshPolicy& policy) {
 int main(int argc, char** argv) {
   using namespace sparkxd;
 
-  bool list = false, all = false, want_digest = false;
+  bool list = false, all = false, want_digest = false, want_timings = false;
   std::vector<std::string> names;
   std::vector<std::string> filters;
   std::string out_path;
@@ -121,6 +123,8 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--digest") {
       want_digest = true;
+    } else if (arg == "--timings") {
+      want_timings = true;
     } else if (arg == "--scenario") {
       names.emplace_back(next("--scenario"));
     } else if (arg == "--filter") {
@@ -225,6 +229,20 @@ int main(int argc, char** argv) {
                  r.scenario.name.c_str(), r.report.baseline_accuracy,
                  r.report.improved_accuracy, r.report.ber_th, low.v_supply,
                  low.saving_pct, low.speedup);
+  }
+  if (want_timings) {
+    // Wall-clock phase breakdown; stderr only — host-dependent numbers must
+    // never reach the machine-diffable JSON/digest streams.
+    std::fprintf(stderr, "phase timings [ms]:\n");
+    std::fprintf(stderr, "  %-28s %10s %16s %10s %10s\n", "scenario", "train",
+                 "fault_training", "sweep", "total");
+    for (const auto& r : results) {
+      const auto& t = r.report.timings;
+      std::fprintf(stderr, "  %-28s %10.1f %16.1f %10.1f %10.1f\n",
+                   r.scenario.name.c_str(), t.train_ns / 1e6,
+                   t.fault_training_ns / 1e6, t.sweep_ns / 1e6,
+                   t.total_ns / 1e6);
+    }
   }
 
   // --- Serialize. ----------------------------------------------------------

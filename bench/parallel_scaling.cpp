@@ -44,8 +44,9 @@ double sweep_once(const snn::TrainedModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sparkxd;
+  const char* json_path = bench::json_out_path(argc, argv);
   bench::banner("parallel evaluation engine — sweep scaling",
                 "per-voltage sweep + fault-injection trials parallelize to "
                 ">=2x on >=4 cores with bit-identical results");
@@ -104,6 +105,17 @@ int main() {
   const bool identical = serial_acc == parallel_acc;
   std::printf("\nresults bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  if (json_path != nullptr) {
+    bench::BenchReport report("parallel_scaling");
+    report.add_phase("sweep_serial", 1, serial_ms * 1e6)
+        .metrics.emplace_back("acc_sum", serial_acc);
+    auto& par = report.add_phase("sweep_parallel", 1, parallel_ms * 1e6);
+    par.metrics.emplace_back("acc_sum", parallel_acc);
+    par.metrics.emplace_back("workers", static_cast<double>(hw));
+    par.metrics.emplace_back("speedup",
+                             serial_ms / std::max(parallel_ms, 1e-3));
+    if (!report.write(json_path)) return 2;
+  }
   const unsigned hw_real = std::max(1u, std::thread::hardware_concurrency());
   std::printf("5 voltages x %zu trials, parallel leg ran %zu workers; "
               "expect >=2x speedup on >=4 cores (this host: %u hardware "

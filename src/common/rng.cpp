@@ -4,24 +4,9 @@
 
 namespace sparkxd {
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
-  // Feed both words through splitmix64 so even adjacent ids decorrelate.
-  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
-  return splitmix64(s);
-}
-
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
+// splitmix64 / hash_combine / next_u64 / uniform / bernoulli are defined
+// inline in rng.hpp — the evaluation hot paths make millions of draws and
+// must not pay a cross-TU call per draw.
 
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
@@ -33,22 +18,6 @@ Rng Rng::fork(std::uint64_t stream_id) const noexcept {
   std::uint64_t h = stream_id;
   for (const auto w : state_) h = hash_combine(h, w);
   return Rng(h);
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -73,11 +42,6 @@ std::size_t Rng::index(std::size_t n) {
   SPARKXD_REQUIRE(n > 0, "index(n) needs n > 0");
   return static_cast<std::size_t>(
       uniform_int(0, static_cast<std::int64_t>(n) - 1));
-}
-
-bool Rng::bernoulli(double p) {
-  SPARKXD_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability out of [0,1]");
-  return uniform() < p;
 }
 
 double Rng::normal() noexcept {

@@ -17,11 +17,27 @@
 
 namespace sparkxd {
 
+// The primitives below (and the core draws next_u64 / uniform / bernoulli)
+// are defined inline in this header: the evaluation hot paths — Poisson
+// spike encoding, Monte-Carlo fault injection, per-sample stream forking —
+// make millions of draws per trial, and a cross-TU call per draw is
+// measurable. The arithmetic is unchanged, so every stream stays
+// bit-identical to the out-of-line definitions.
+
 /// splitmix64 step; used for seeding and for cheap stateless hashes.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// Stateless 64-bit mix of two values (for deriving per-entity substream seeds).
-std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // Feed both words through splitmix64 so even adjacent ids decorrelate.
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
 
 /// xoshiro256** engine with convenience distributions.
 ///
@@ -39,14 +55,26 @@ class Rng {
   [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
 
   /// Raw 64 uniform random bits.
-  std::uint64_t next_u64() noexcept;
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
   result_type operator()() noexcept { return next_u64(); }
 
   /// Uniform double in [0, 1) with 53-bit resolution.
-  double uniform() noexcept;
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
   double uniform(double lo, double hi);
@@ -58,7 +86,11 @@ class Rng {
   std::size_t index(std::size_t n);
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    SPARKXD_REQUIRE(p >= 0.0 && p <= 1.0,
+                    "bernoulli probability out of [0,1]");
+    return uniform() < p;
+  }
 
   /// Standard normal via Box–Muller (no state caching; two draws per sample).
   double normal() noexcept;
@@ -90,6 +122,10 @@ class Rng {
                                                       std::size_t k);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
 };
 

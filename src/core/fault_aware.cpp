@@ -15,27 +15,38 @@ double evaluate_corrupted(const snn::Network& net,
   SPARKXD_REQUIRE(trials >= 1, "need at least one evaluation trial");
   const error::SanitizeRange sanitize{net.config().stdp.w_min, weight_clip};
   // One parent draw keys this call's trial substreams: every trial owns an
-  // independent Rng pair and a private corrupted copy of the network, so
-  // trials run concurrently and the mean is bit-identical at any thread
-  // count. Injection and evaluation draw from *separate* substreams
+  // independent Rng pair and every worker a private corruptible weight
+  // copy, so trials run concurrently and the mean is bit-identical at any
+  // thread count. Injection and evaluation draw from *separate* substreams
   // (common random numbers): the spike trains are then identical across
   // BERs for the same parent state, so accuracy differences measure the
   // injected errors, not resampling noise.
   const std::uint64_t stream = rng.next_u64();
+  // The flip candidates at this BER are the same for every trial: freeze
+  // them once and share the table read-only across the whole fan-out.
+  const error::FrozenInjection frozen = injector.freeze(ber);
   std::vector<double> accs(trials, 0.0);
-  const std::vector<float>& snapshot = net.weights();
   parallel_for_chunks(
       trials, [&](std::size_t begin, std::size_t end, std::size_t) {
-        // One full network copy per worker; between trials only the weights
-        // need restoring (injection touches nothing else, and evaluation
-        // leaves weights and thetas alone).
+        // One weight copy per worker (each needs a private corruptible
+        // array); between trials only the recorded flips are reverted —
+        // delta injection replaces the full per-trial snapshot restore.
+        // The InferenceState (membrane/encoder scratch) is likewise built
+        // once per worker and reused across trials.
         snn::Network scratch = net;
+        scratch.sync_transpose();
+        snn::InferenceState state(scratch);
+        std::vector<error::WeightFlip> flips;
         for (std::size_t t = begin; t < end; ++t) {
           Rng inject_rng(hash_combine(stream, 2 * t));
           Rng eval_rng(hash_combine(stream, 2 * t + 1));
-          if (t != begin) scratch.weights_mut() = snapshot;
-          injector.inject(scratch.weights_mut(), ber, inject_rng, sanitize);
-          accs[t] = snn::evaluate(scratch, labels, test, eval_rng);
+          flips.clear();
+          frozen.inject(scratch.weights_delta(), inject_rng, sanitize,
+                        &flips);
+          for (const auto& f : flips) scratch.mirror_weight(f.word);
+          accs[t] = snn::evaluate(scratch, state, labels, test, eval_rng);
+          error::revert_flips(scratch.weights_delta(), flips);
+          for (const auto& f : flips) scratch.mirror_weight(f.word);
         }
       });
   double acc_sum = 0.0;

@@ -68,12 +68,17 @@ struct FaultAwareResult {
 
 /// Evaluates a model with weights corrupted at `ber` through `injector`.
 /// Averages `trials` fresh error draws; trials run concurrently (see
-/// common/parallel), each on its own corrupted copy of the network with its
-/// own Rng substream keyed off one draw from `rng`, so the result is
-/// deterministic in `rng`'s state and identical at every thread count.
-/// `net` is untouched (const — required for the concurrent per-voltage
-/// sweep to share one trained model). `weight_clip` is the load-time range
-/// clip applied to corrupted values.
+/// common/parallel), each with its own Rng substream keyed off one draw
+/// from `rng`, so the result is deterministic in `rng`'s state and
+/// identical at every thread count. The hot path is delta-based: the flip
+/// candidates at `ber` are frozen once (ErrorInjector::freeze) and shared
+/// across all trials, each worker owns one corruptible weight copy plus a
+/// reused snn::InferenceState, and between trials only the recorded flips
+/// are reverted instead of restoring a full snapshot — bit-identical to
+/// the snapshot loop (tests/core_test.cpp proves it against a reference
+/// implementation). `net` is untouched (const — required for the
+/// concurrent per-voltage sweep to share one trained model). `weight_clip`
+/// is the load-time range clip applied to corrupted values.
 [[nodiscard]] double evaluate_corrupted(const snn::Network& net,
                                         const snn::NeuronLabels& labels,
                                         const error::ErrorInjector& injector,

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -58,6 +59,13 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   cfg.validate();
   Rng rng(cfg.seed);
   PipelineReport report;
+  // Phase wall clocks (informational; see PhaseTimings).
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto since = [](std::chrono::steady_clock::time_point t0,
+                        std::chrono::steady_clock::time_point t1) {
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+  };
+  const auto t_start = now();
 
   // --- Data + baseline model (accurate DRAM). -----------------------------
   const auto all = data::make_dataset(
@@ -68,6 +76,8 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   auto baseline = snn::train_and_label(cfg.network, train, test,
                                        cfg.baseline_epochs, rng);
   report.baseline_accuracy = baseline.clean_accuracy;
+  const auto t_trained = now();
+  report.timings.train_ns = since(t_start, t_trained);
 
   // --- Substrate models. ---------------------------------------------------
   const energy::VoltageModel voltage_model;
@@ -94,6 +104,8 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   report.stage_curve = std::move(fa.stage_curve);
   report.improved_accuracy =
       snn::evaluate(fa.improved.net, fa.improved.labels, test, rng);
+  const auto t_fault_trained = now();
+  report.timings.fault_training_ns = since(t_trained, t_fault_trained);
 
   // --- Baseline energy reference: accurate DRAM @ 1.35 V, baseline map. ----
   // When the refresh axis is simulated, the reference runs at the NOMINAL
@@ -167,6 +179,9 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
     row.row_hit_rate = te.stats.hit_rate();
     report.per_voltage[vi] = row;
   });
+  const auto t_done = now();
+  report.timings.sweep_ns = since(t_fault_trained, t_done);
+  report.timings.total_ns = since(t_start, t_done);
   return report;
 }
 

@@ -75,6 +75,17 @@ struct VoltageReport {
   std::size_t retention_weak_cells = 0;
 };
 
+/// Wall-clock phase timings of one run_pipeline call (nanoseconds).
+/// Informational only: host- and load-dependent, so they are EXCLUDED from
+/// the stable JSON serialization and the golden digests (which must stay
+/// byte-identical across runs); sparkxd_run --timings prints them to stderr.
+struct PhaseTimings {
+  double train_ns = 0.0;           ///< dataset synthesis + baseline training
+  double fault_training_ns = 0.0;  ///< Algorithm 1 (incl. stage evaluations)
+  double sweep_ns = 0.0;           ///< baseline energy + per-voltage sweep
+  double total_ns = 0.0;
+};
+
 /// Full pipeline output.
 struct PipelineReport {
   double baseline_accuracy = 0.0;  ///< baseline SNN, accurate DRAM
@@ -85,6 +96,7 @@ struct PipelineReport {
   double baseline_energy_nj = 0.0;  ///< accurate DRAM @1.35 V, baseline map
   double baseline_time_ns = 0.0;
   std::vector<VoltageReport> per_voltage;
+  PhaseTimings timings;  ///< wall clock; not serialized, not digested
 };
 
 /// Runs the whole framework. Deterministic in cfg.seed.

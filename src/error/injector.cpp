@@ -184,8 +184,7 @@ ErrorInjector ErrorInjector::for_weights(const dram::Geometry& geometry,
                        n_weights * sizeof(float), seed, max_ber);
 }
 
-void ErrorInjector::sanitize_weight(float& w,
-                                    const SanitizeRange& r) noexcept {
+void sanitize_weight(float& w, const SanitizeRange& r) noexcept {
   if (std::isnan(w)) {
     w = r.lo;
     return;
@@ -193,17 +192,26 @@ void ErrorInjector::sanitize_weight(float& w,
   w = std::clamp(w, r.lo, r.hi);
 }
 
+void revert_flips(std::vector<float>& weights,
+                  const std::vector<WeightFlip>& flips) noexcept {
+  // Reverse order: when one word was flipped more than once, the first
+  // record (written last here) carries the pre-injection value.
+  for (auto it = flips.rbegin(); it != flips.rend(); ++it)
+    weights[it->word] = it->before;
+}
+
 template <typename FlipDecision>
 std::size_t ErrorInjector::inject_floats(std::vector<float>& weights,
                                          double ber,
                                          const SanitizeRange& sanitize,
-                                         FlipDecision&& decide) const {
+                                         FlipDecision&& decide,
+                                         std::vector<WeightFlip>* flips) const {
   SPARKXD_REQUIRE(ber <= max_ber_ + 1e-15,
                   "injection BER exceeds the enumerated maximum");
   SPARKXD_REQUIRE(weights.size() * sizeof(float) >= n_payload_bytes_,
                   "weight array smaller than the mapped payload");
   const double threshold = 2.0 * ber;
-  std::size_t flips = 0;
+  std::size_t n_flips = 0;
   for (const auto& c : candidates_) {
     if (c.score >= threshold) break;  // sorted: all further are not weak
     const std::size_t w_idx = c.byte_index / sizeof(float);
@@ -212,28 +220,73 @@ std::size_t ErrorInjector::inject_floats(std::vector<float>& weights,
         (c.byte_index % sizeof(float)) * 8 + c.bit;
     float& w = weights[w_idx];
     if (!decide(test_bit(float_to_bits(w), bit32))) continue;
+    if (flips != nullptr)
+      flips->push_back({static_cast<std::uint32_t>(w_idx), w});
     w = flip_float_bit(w, bit32);
     sanitize_weight(w, sanitize);
-    ++flips;
+    ++n_flips;
   }
-  return flips;
+  return n_flips;
 }
 
 std::size_t ErrorInjector::inject(std::vector<float>& weights, double ber,
-                                  Rng& rng,
-                                  const SanitizeRange& sanitize) const {
-  return inject_floats(weights, ber, sanitize, [&](bool bit_value) {
-    double p = kWeakCellFailProb;
-    if (spec_.kind == ErrorModelKind::kModel3DataDependent)
-      p = bit_value ? spec_.p1 : spec_.p0;
-    return rng.bernoulli(p);
-  });
+                                  Rng& rng, const SanitizeRange& sanitize,
+                                  std::vector<WeightFlip>* flips) const {
+  return inject_floats(
+      weights, ber, sanitize,
+      [&](bool bit_value) {
+        double p = kWeakCellFailProb;
+        if (spec_.kind == ErrorModelKind::kModel3DataDependent)
+          p = bit_value ? spec_.p1 : spec_.p0;
+        return rng.bernoulli(p);
+      },
+      flips);
 }
 
 std::size_t ErrorInjector::inject_all_weak(
     std::vector<float>& weights, double ber,
     const SanitizeRange& sanitize) const {
   return inject_floats(weights, ber, sanitize, [](bool) { return true; });
+}
+
+FrozenInjection ErrorInjector::freeze(double ber) const {
+  SPARKXD_REQUIRE(ber <= max_ber_ + 1e-15,
+                  "frozen BER exceeds the enumerated maximum");
+  FrozenInjection f;
+  f.ber_ = ber;
+  f.p0_ = spec_.p0;
+  f.p1_ = spec_.p1;
+  f.data_dependent_ = spec_.kind == ErrorModelKind::kModel3DataDependent;
+  f.n_payload_bytes_ = n_payload_bytes_;
+  const double threshold = 2.0 * ber;
+  for (const auto& c : candidates_) {
+    if (c.score >= threshold) break;  // sorted prefix, same as inject()
+    f.entries_.push_back(
+        {static_cast<std::uint32_t>(c.byte_index / sizeof(float)),
+         static_cast<std::uint8_t>((c.byte_index % sizeof(float)) * 8 +
+                                   c.bit)});
+  }
+  return f;
+}
+
+std::size_t FrozenInjection::inject(std::vector<float>& weights, Rng& rng,
+                                    const SanitizeRange& sanitize,
+                                    std::vector<WeightFlip>* flips) const {
+  SPARKXD_REQUIRE(weights.size() * sizeof(float) >= n_payload_bytes_,
+                  "weight array smaller than the mapped payload");
+  std::size_t n_flips = 0;
+  for (const auto& e : entries_) {
+    float& w = weights[e.word];
+    double p = kWeakCellFailProb;
+    if (data_dependent_)
+      p = test_bit(float_to_bits(w), e.bit) ? p1_ : p0_;
+    if (!rng.bernoulli(p)) continue;
+    if (flips != nullptr) flips->push_back({e.word, w});
+    w = flip_float_bit(w, e.bit);
+    sanitize_weight(w, sanitize);
+    ++n_flips;
+  }
+  return n_flips;
 }
 
 std::size_t ErrorInjector::inject_bytes(std::uint8_t* data,

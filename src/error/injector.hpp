@@ -60,6 +60,66 @@ struct SanitizeRange {
   float hi = 1.0f;
 };
 
+/// Applies SanitizeRange to one corrupted weight (NaN -> lo, else clamp).
+void sanitize_weight(float& w, const SanitizeRange& r) noexcept;
+
+/// One recorded weight corruption: the flat FP32 word index and the value it
+/// held *before* the flip (pre-sanitize). A sequence of WeightFlips is a
+/// complete delta of an injection pass: reverting it restores the weight
+/// array bit for bit, which replaces the full-snapshot copy the Monte-Carlo
+/// trial loop used to pay per trial.
+struct WeightFlip {
+  std::uint32_t word = 0;  ///< flat index into the FP32 weight array
+  float before = 0.0f;     ///< value of weights[word] before this flip
+};
+
+/// Reverts a recorded injection delta: walks `flips` in reverse and restores
+/// each word's pre-flip value. Reverse order makes multi-flip words exact —
+/// the earliest record of a word wins, restoring the pre-injection value.
+void revert_flips(std::vector<float>& weights,
+                  const std::vector<WeightFlip>& flips) noexcept;
+
+/// Read-only injection plan frozen for one (injector, BER) pair: the prefix
+/// of the injector's score-sorted candidate list that is weak at the frozen
+/// BER, with each candidate's FP32 word index and bit-within-word
+/// precomputed. Build it once (ErrorInjector::freeze) and share it const
+/// across all Monte-Carlo trials and sweep workers — injection through the
+/// table skips the per-call threshold comparisons and byte->word arithmetic
+/// of ErrorInjector::inject while consuming the SAME Rng stream and flipping
+/// the SAME bits, so results are bit-identical by construction
+/// (tests/error_test.cpp locks this down).
+class FrozenInjection {
+ public:
+  /// One corrupted "read" of `weights` at the frozen BER. Identical flip
+  /// decisions and Rng consumption as ErrorInjector::inject(weights,
+  /// ber(), rng, sanitize). When `flips` is non-null every flip is appended
+  /// (the vector is NOT cleared) so the caller can revert the delta via
+  /// revert_flips. Returns the number of flipped bits.
+  std::size_t inject(std::vector<float>& weights, Rng& rng,
+                     const SanitizeRange& sanitize = {},
+                     std::vector<WeightFlip>* flips = nullptr) const;
+
+  /// Number of weak-cell candidates in the frozen table.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// The BER this table was frozen at.
+  [[nodiscard]] double ber() const noexcept { return ber_; }
+
+ private:
+  friend class ErrorInjector;
+
+  struct Entry {
+    std::uint32_t word;  ///< flat FP32 index holding the weak cell
+    std::uint8_t bit;    ///< 0 (LSB) .. 31 within the little-endian word
+  };
+
+  std::vector<Entry> entries_;  ///< candidate-list prefix, original order
+  double ber_ = 0.0;
+  double p0_ = 0.0;      ///< Model-3 flip probability for a stored 0
+  double p1_ = 0.0;      ///< Model-3 flip probability for a stored 1
+  bool data_dependent_ = false;
+  std::size_t n_payload_bytes_ = 0;
+};
+
 class ErrorInjector {
  public:
   /// Enumerates weak-cell candidates for `n_payload_bytes` bytes laid out
@@ -80,9 +140,16 @@ class ErrorInjector {
 
   /// Flips weak bits of FP32 `weights` for one "read" at module BER `ber`
   /// (<= max_ber). Each weak cell fails independently with probability 0.5
-  /// (Model-3: p1/p0 by stored value). Returns the number of flipped bits.
+  /// (Model-3: p1/p0 by stored value). When `flips` is non-null every flip
+  /// is appended to it (see WeightFlip / revert_flips). Returns the number
+  /// of flipped bits.
   std::size_t inject(std::vector<float>& weights, double ber, Rng& rng,
-                     const SanitizeRange& sanitize = {}) const;
+                     const SanitizeRange& sanitize = {},
+                     std::vector<WeightFlip>* flips = nullptr) const;
+
+  /// Freezes the candidate-list prefix weak at `ber` (<= max_ber) into a
+  /// shareable read-only injection plan; see FrozenInjection.
+  [[nodiscard]] FrozenInjection freeze(double ber) const;
 
   /// Deterministic FP32 variant: flips *every* weak cell at `ber` (used by
   /// tests to reason about worst-case corruption).
@@ -129,12 +196,12 @@ class ErrorInjector {
   /// front of the candidate list).
   static constexpr double kRetentionScore = -1.0;
 
-  static void sanitize_weight(float& w, const SanitizeRange& r) noexcept;
   /// Shared core of the FP32 paths.
   template <typename FlipDecision>
   std::size_t inject_floats(std::vector<float>& weights, double ber,
                             const SanitizeRange& sanitize,
-                            FlipDecision&& decide) const;
+                            FlipDecision&& decide,
+                            std::vector<WeightFlip>* flips = nullptr) const;
 
   std::vector<Candidate> candidates_;  ///< sorted ascending by score
   std::size_t retention_candidates_ = 0;

@@ -6,9 +6,19 @@
 
 namespace sparkxd::snn {
 
+InferenceState::InferenceState(const Network& net)
+    : lif_(net.lif_),
+      encoder_(net.cfg_.max_rate),
+      current_(net.cfg_.n_neurons, 0.0f) {
+  // Inference freezes the adaptive thresholds (standard for this
+  // architecture): the copied thetas stay at the network's trained values.
+  lif_.set_plastic(false);
+}
+
 Network::Network(const NetworkConfig& cfg)
     : cfg_(cfg),
       w_(cfg.n_neurons * cfg.n_inputs),
+      wt_(cfg.n_neurons * cfg.n_inputs),
       lif_(cfg.n_neurons, cfg.lif, cfg.dt_ms),
       traces_(cfg.n_inputs, cfg.stdp.tau_pre_ms, cfg.dt_ms),
       encoder_(cfg.max_rate),
@@ -22,6 +32,18 @@ Network::Network(const NetworkConfig& cfg)
   Rng rng(cfg.seed);
   for (float& w : w_) w = static_cast<float>(rng.uniform(0.0, 0.3));
   normalize_rows();
+  sync_transpose();
+}
+
+void Network::sync_transpose() {
+  if (wt_synced_) return;
+  const std::size_t ni = cfg_.n_inputs;
+  const std::size_t nn = cfg_.n_neurons;
+  for (std::size_t n = 0; n < nn; ++n) {
+    const float* row = w_.data() + n * ni;
+    for (std::size_t i = 0; i < ni; ++i) wt_[i * nn + n] = row[i];
+  }
+  wt_synced_ = true;
 }
 
 void Network::normalize_rows() {
@@ -34,6 +56,7 @@ void Network::normalize_rows() {
     const float scale = cfg_.norm_target / sum;
     for (std::size_t i = 0; i < ni; ++i) row[i] *= scale;
   }
+  wt_synced_ = false;
 }
 
 void Network::reset_dynamics() {
@@ -46,25 +69,40 @@ std::vector<std::uint32_t> Network::process(const std::vector<float>& image,
                                             bool learn, Rng& rng) {
   SPARKXD_REQUIRE(image.size() == cfg_.n_inputs,
                   "image size must match n_inputs");
+  if (!learn) sync_transpose();
   reset_dynamics();
   lif_.set_plastic(learn);
   encoder_.set_image(image);
 
   const std::size_t ni = cfg_.n_inputs;
-  std::vector<std::uint32_t> counts(cfg_.n_neurons, 0);
+  const std::size_t nn = cfg_.n_neurons;
+  std::vector<std::uint32_t> counts(nn, 0);
 
   for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
     encoder_.step(rng, in_spikes_);
     if (learn) traces_.step(in_spikes_);
 
-    // Synaptic drive: one gather per (neuron, spiking input).
+    // Synaptic drive: per-neuron sum over this step's spiking inputs.
     std::fill(current_.begin(), current_.end(), 0.0f);
     if (!in_spikes_.empty()) {
-      for (std::size_t n = 0; n < cfg_.n_neurons; ++n) {
-        const float* row = w_.data() + n * ni;
-        float acc = 0.0f;
-        for (const auto i : in_spikes_) acc += row[i];
-        current_[n] = acc;
+      if (learn) {
+        // Training reads the row-major array directly: STDP updates weight
+        // rows mid-sample and the next step's gather must see them.
+        for (std::size_t n = 0; n < nn; ++n) {
+          const float* row = w_.data() + n * ni;
+          float acc = 0.0f;
+          for (const auto i : in_spikes_) acc += row[i];
+          current_[n] = acc;
+        }
+      } else {
+        // Inference: spike-outer / neuron-inner over contiguous transposed
+        // columns. Per neuron the additions happen in the same spike order
+        // as the row-major walk, so the sums are bitwise identical.
+        float* cur = current_.data();
+        for (const auto i : in_spikes_) {
+          const float* col = wt_.data() + std::size_t{i} * nn;
+          for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+        }
       }
     }
 
@@ -77,7 +115,40 @@ std::vector<std::uint32_t> Network::process(const std::vector<float>& image,
     }
   }
 
-  if (learn) normalize_rows();
+  if (learn) {
+    normalize_rows();  // also marks the transpose stale
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> Network::infer(InferenceState& state,
+                                          const std::vector<float>& image,
+                                          Rng& rng) const {
+  SPARKXD_REQUIRE(image.size() == cfg_.n_inputs,
+                  "image size must match n_inputs");
+  SPARKXD_REQUIRE(wt_synced_,
+                  "infer needs a synced transpose — call sync_transpose()");
+  SPARKXD_REQUIRE(state.current_.size() == cfg_.n_neurons,
+                  "InferenceState was built for a different network size");
+  state.lif_.reset_dynamics();
+  state.encoder_.set_image(image);
+
+  const std::size_t nn = cfg_.n_neurons;
+  std::vector<std::uint32_t> counts(nn, 0);
+
+  for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
+    state.encoder_.step(rng, state.in_spikes_);
+    std::fill(state.current_.begin(), state.current_.end(), 0.0f);
+    if (!state.in_spikes_.empty()) {
+      float* cur = state.current_.data();
+      for (const auto i : state.in_spikes_) {
+        const float* col = wt_.data() + std::size_t{i} * nn;
+        for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+      }
+    }
+    state.lif_.step(state.current_, state.out_spikes_);
+    for (const auto s : state.out_spikes_) ++counts[s];
+  }
   return counts;
 }
 

@@ -3,6 +3,16 @@
 // Poisson input -> excitatory LIF layer with lateral inhibition, trained
 // with STDP. Synaptic weights are stored as FP32 row-major [neuron][input] —
 // the exact array the approximate-DRAM error injector corrupts.
+//
+// Inference additionally maintains a TRANSPOSED copy of the weights
+// ([input][neuron]): the per-timestep synaptic gather then runs
+// spike-outer / neuron-inner over contiguous memory, which vectorizes and
+// breaks the per-neuron serial addition chain of the row-major walk. The
+// per-neuron addition *sequence* is unchanged (same spikes, same order), so
+// inference results are bitwise identical to the row-major kernel — the
+// golden digests lock this down. Training keeps reading the row-major array
+// directly (STDP updates rows mid-sample), so the transpose is resynced
+// lazily before the next inference.
 
 #include <cstdint>
 #include <vector>
@@ -15,6 +25,28 @@
 
 namespace sparkxd::snn {
 
+class Network;
+
+/// Per-worker mutable inference state over a shared const Network: the LIF
+/// dynamics (a copy of the layer: potentials, refractory counters and the
+/// frozen adaptive thresholds), the Poisson encoder, and the scratch
+/// buffers — but NOT the weights, which are read from the network's
+/// transposed layout. Constructing one is O(n_neurons); a full Network copy
+/// is O(n_neurons * n_inputs). This is what lets evaluation workers fan out
+/// (and Monte-Carlo trials repeat) without copying the weight matrix.
+class InferenceState {
+ public:
+  explicit InferenceState(const Network& net);
+
+ private:
+  friend class Network;
+  LifLayer lif_;
+  PoissonEncoder encoder_;
+  std::vector<float> current_;
+  std::vector<std::uint32_t> in_spikes_;
+  std::vector<std::uint32_t> out_spikes_;
+};
+
 /// A complete network instance (weights + neuron state + encoder).
 class Network {
  public:
@@ -24,11 +56,49 @@ class Network {
 
   /// The synaptic weight matrix, row-major [n_neurons][n_inputs]. Mutable
   /// access exists so the error injector can corrupt the stored bits and the
-  /// fault-aware trainer can restore snapshots.
+  /// fault-aware trainer can restore snapshots; it invalidates the
+  /// transposed inference copy, which is rebuilt before the next inference.
   [[nodiscard]] const std::vector<float>& weights() const noexcept {
     return w_;
   }
-  [[nodiscard]] std::vector<float>& weights_mut() noexcept { return w_; }
+  [[nodiscard]] std::vector<float>& weights_mut() noexcept {
+    wt_synced_ = false;
+    return w_;
+  }
+
+  /// Hot-path mutable access for DELTA fault injection: unlike
+  /// weights_mut() this does NOT invalidate the transposed copy. The caller
+  /// must mirror every word it changes via mirror_weight() before the next
+  /// inference — error::WeightFlip logs carry exactly those words. Requires
+  /// a synced transpose (sync_transpose() first), so the invariant "both
+  /// layouts agree except at the words the caller is about to mirror" holds.
+  [[nodiscard]] std::vector<float>& weights_delta() {
+    SPARKXD_REQUIRE(wt_synced_,
+                    "weights_delta needs a synced transpose — call "
+                    "sync_transpose() first (or use weights_mut())");
+    return w_;
+  }
+
+  /// Copies the current value of flat weight `idx` into the transposed
+  /// layout (companion of weights_delta()).
+  void mirror_weight(std::size_t idx) noexcept {
+    const std::size_t n = idx / cfg_.n_inputs;
+    const std::size_t i = idx % cfg_.n_inputs;
+    wt_[i * cfg_.n_neurons + n] = w_[idx];
+  }
+
+  /// Rebuilds the transposed weight copy from the row-major array if any
+  /// weights_mut()/normalize/training mutation happened since the last sync.
+  void sync_transpose();
+  [[nodiscard]] bool transpose_synced() const noexcept { return wt_synced_; }
+
+  /// The transposed weights [n_inputs][n_neurons]; requires a synced
+  /// transpose. Read-only — the row-major array stays canonical.
+  [[nodiscard]] const std::vector<float>& weights_T() const {
+    SPARKXD_REQUIRE(wt_synced_, "transposed weights are stale — call "
+                                "sync_transpose() first");
+    return wt_;
+  }
 
   /// Adaptive thresholds (exposed for snapshot/restore alongside weights).
   [[nodiscard]] const std::vector<float>& thetas() const noexcept {
@@ -46,6 +116,14 @@ class Network {
   std::vector<std::uint32_t> process(const std::vector<float>& image,
                                      bool learn, Rng& rng);
 
+  /// Pure inference through a caller-owned InferenceState: identical spike
+  /// counts and Rng consumption as process(image, /*learn=*/false, rng), but
+  /// const on the network and reusing the state's buffers — the per-trial /
+  /// per-worker hot path. Requires a synced transpose.
+  std::vector<std::uint32_t> infer(InferenceState& state,
+                                   const std::vector<float>& image,
+                                   Rng& rng) const;
+
   /// Rescales every neuron's incoming weights to sum to norm_target
   /// (no-op for all-zero rows).
   void normalize_rows();
@@ -54,8 +132,12 @@ class Network {
   void reset_dynamics();
 
  private:
+  friend class InferenceState;
+
   NetworkConfig cfg_;
-  std::vector<float> w_;
+  std::vector<float> w_;    ///< canonical row-major [neuron][input]
+  std::vector<float> wt_;   ///< transposed [input][neuron], inference kernel
+  bool wt_synced_ = false;
   LifLayer lif_;
   PreTraces traces_;
   PoissonEncoder encoder_;

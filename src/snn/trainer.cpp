@@ -56,11 +56,8 @@ NeuronLabels label_neurons(Network& net, const data::Dataset& ds, Rng& rng) {
   return out;
 }
 
-std::int32_t predict(Network& net, const NeuronLabels& labels,
-                     const std::vector<float>& image, Rng& rng) {
-  SPARKXD_REQUIRE(labels.label.size() == net.config().n_neurons,
-                  "label table must match the network size");
-  const auto counts = net.process(image, /*learn=*/false, rng);
+std::int32_t vote_spike_counts(const std::vector<std::uint32_t>& counts,
+                               const NeuronLabels& labels) {
   std::vector<double> votes(labels.num_classes, 0.0);
   std::vector<std::size_t> members(labels.num_classes, 0);
   for (std::size_t j = 0; j < counts.size(); ++j) {
@@ -87,16 +84,24 @@ std::int32_t predict(Network& net, const NeuronLabels& labels,
   return best_c;
 }
 
+std::int32_t predict(Network& net, const NeuronLabels& labels,
+                     const std::vector<float>& image, Rng& rng) {
+  SPARKXD_REQUIRE(labels.label.size() == net.config().n_neurons,
+                  "label table must match the network size");
+  return vote_spike_counts(net.process(image, /*learn=*/false, rng), labels);
+}
+
 namespace {
 
-/// Scores samples [begin, end) on `scratch`, one forked Rng per sample.
-void score_span(Network& scratch, const NeuronLabels& labels,
-                const data::Dataset& ds, std::uint64_t stream,
-                std::size_t begin, std::size_t end,
+/// Scores samples [begin, end) through `state`, one forked Rng per sample.
+void score_span(const Network& net, InferenceState& state,
+                const NeuronLabels& labels, const data::Dataset& ds,
+                std::uint64_t stream, std::size_t begin, std::size_t end,
                 std::vector<std::uint8_t>& correct) {
   for (std::size_t i = begin; i < end; ++i) {
     Rng sample_rng(hash_combine(stream, i));
-    correct[i] = predict(scratch, labels, ds.images[i], sample_rng) ==
+    const auto counts = net.infer(state, ds.images[i], sample_rng);
+    correct[i] = vote_spike_counts(counts, labels) ==
                  static_cast<std::int32_t>(ds.labels[i]);
   }
 }
@@ -112,33 +117,48 @@ double accuracy_of(const std::vector<std::uint8_t>& correct) {
 double evaluate(const Network& net, const NeuronLabels& labels,
                 const data::Dataset& ds, Rng& rng) {
   SPARKXD_REQUIRE(ds.size() > 0, "cannot evaluate on an empty dataset");
-  // Inference is per-sample independent (process() resets the membrane
-  // dynamics and learn=false leaves weights untouched), so samples are
-  // scored concurrently: each chunk runs on a private network copy and each
-  // sample forks its spike-train Rng from one parent draw, making the
-  // accuracy bit-identical at every thread count.
+  SPARKXD_REQUIRE(labels.label.size() == net.config().n_neurons,
+                  "label table must match the network size");
+  if (!net.transpose_synced()) {
+    // Cold path: one private synced copy for the whole call (never one per
+    // chunk). Hot callers sync beforehand and share `net` across workers.
+    Network synced = net;
+    synced.sync_transpose();
+    return evaluate(std::as_const(synced), labels, ds, rng);
+  }
+  // Inference is per-sample independent (the membrane dynamics reset per
+  // sample and the weights are read-only), so samples are scored
+  // concurrently: each chunk owns an InferenceState and each sample forks
+  // its spike-train Rng from one parent draw, making the accuracy
+  // bit-identical at every thread count.
   const std::uint64_t stream = rng.next_u64();
   std::vector<std::uint8_t> correct(ds.size(), 0);
   parallel_for_chunks(
       ds.size(), [&](std::size_t begin, std::size_t end, std::size_t) {
-        Network local = net;
-        score_span(local, labels, ds, stream, begin, end, correct);
+        InferenceState state(net);
+        score_span(net, state, labels, ds, stream, begin, end, correct);
       });
   return accuracy_of(correct);
 }
 
 double evaluate(Network& net, const NeuronLabels& labels,
                 const data::Dataset& ds, Rng& rng) {
-  // Scratch overload: when no fan-out will happen (serial knob, or nested
-  // inside a parallel region as in the Monte-Carlo trials), score on the
-  // caller's network in place instead of copying it again — same streams,
-  // identical result. Only transient membrane state is disturbed.
-  if (parallel_chunk_count(ds.size()) > 1)
-    return evaluate(std::as_const(net), labels, ds, rng);
+  // Scratch overload: sync the transposed inference copy in place (the only
+  // mutation — weights and thetas are untouched), then share the network
+  // read-only across the scoring workers.
+  net.sync_transpose();
+  return evaluate(std::as_const(net), labels, ds, rng);
+}
+
+double evaluate(const Network& net, InferenceState& state,
+                const NeuronLabels& labels, const data::Dataset& ds,
+                Rng& rng) {
   SPARKXD_REQUIRE(ds.size() > 0, "cannot evaluate on an empty dataset");
+  SPARKXD_REQUIRE(labels.label.size() == net.config().n_neurons,
+                  "label table must match the network size");
   const std::uint64_t stream = rng.next_u64();
   std::vector<std::uint8_t> correct(ds.size(), 0);
-  score_span(net, labels, ds, stream, 0, ds.size(), correct);
+  score_span(net, state, labels, ds, stream, 0, ds.size(), correct);
   return accuracy_of(correct);
 }
 

@@ -44,20 +44,37 @@ void train_epoch(Network& net, const data::Dataset& ds, Rng& rng);
 [[nodiscard]] std::int32_t predict(Network& net, const NeuronLabels& labels,
                                    const std::vector<float>& image, Rng& rng);
 
+/// The bias-corrected population vote over one sample's spike counts (the
+/// readout predict() and evaluate() share). Returns -1 when no labelled
+/// neuron exists.
+[[nodiscard]] std::int32_t vote_spike_counts(
+    const std::vector<std::uint32_t>& counts, const NeuronLabels& labels);
+
 /// Fraction of correctly classified samples (inference mode). Samples are
-/// scored concurrently on private network copies (see common/parallel);
-/// each sample's spike trains fork from one draw of `rng`, so the result is
+/// scored concurrently (see common/parallel); each worker owns only an
+/// InferenceState (membrane dynamics + scratch, O(n_neurons)) and reads the
+/// network's weights in place, so fan-out never copies the weight matrix.
+/// Each sample's spike trains fork from one draw of `rng`, so the result is
 /// deterministic and thread-count independent. `net` is untouched (const),
-/// which is what lets concurrent sweeps share one trained model.
+/// which is what lets concurrent sweeps share one trained model. If the
+/// network's transposed inference copy is stale, one private synced copy is
+/// made; callers on the hot path should sync_transpose() beforehand.
 [[nodiscard]] double evaluate(const Network& net, const NeuronLabels& labels,
                               const data::Dataset& ds, Rng& rng);
 
-/// Scratch overload: identical result, but when no fan-out will happen
-/// (serial knob, or already nested in a parallel region) it scores on `net`
-/// in place instead of copying — use when the caller owns a private copy
-/// (e.g. per-trial corrupted networks). Transient membrane state is
-/// disturbed; weights and thetas are not.
+/// Scratch overload: identical result and streams; syncs the transposed
+/// inference copy in place first (weights and thetas untouched). Use when
+/// the caller owns a mutable network (e.g. freshly corrupted weights).
 [[nodiscard]] double evaluate(Network& net, const NeuronLabels& labels,
+                              const data::Dataset& ds, Rng& rng);
+
+/// Hot-path overload: identical result and streams, scoring serially
+/// through a caller-owned InferenceState with no per-call copies or
+/// fan-out. Intended for callers already inside a parallel region (the
+/// Monte-Carlo trial loop) that reuse one state across many evaluations.
+/// Requires net's transpose synced.
+[[nodiscard]] double evaluate(const Network& net, InferenceState& state,
+                              const NeuronLabels& labels,
                               const data::Dataset& ds, Rng& rng);
 
 /// A trained, labelled model with its clean-weight accuracy.

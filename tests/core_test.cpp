@@ -99,6 +99,39 @@ TEST_F(FaultAwareFixture, HighBerDegradesBaseline) {
   EXPECT_LT(corrupted, uncorrupted + 0.02);
 }
 
+TEST_F(FaultAwareFixture, HotPathMatchesLegacySnapshotLoopBitwise) {
+  // The optimized Monte-Carlo path (frozen candidate table + delta-revert +
+  // reused inference scratch) against the pre-optimization reference loop:
+  // full snapshot restore per trial + per-call candidate scan + a fresh
+  // evaluation each time. Stream derivation is the documented contract
+  // (stream = rng.next_u64(); trial t draws hash_combine(stream, 2t) /
+  // (2t+1)), so the means must agree bit for bit.
+  const std::size_t trials = 3;
+  const double ber = 1e-3;
+  Rng fast_rng(21), ref_rng(21);
+  const double fast =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, ber, state->test, fast_rng,
+                         trials);
+  const error::SanitizeRange sanitize{
+      state->baseline->net.config().stdp.w_min, kDefaultWeightClip};
+  const std::uint64_t stream = ref_rng.next_u64();
+  snn::Network scratch = state->baseline->net;
+  const std::vector<float> snapshot = state->baseline->net.weights();
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng inject_rng(hash_combine(stream, 2 * t));
+    Rng eval_rng(hash_combine(stream, 2 * t + 1));
+    if (t != 0) scratch.weights_mut() = snapshot;
+    state->injector->inject(scratch.weights_mut(), ber, inject_rng,
+                            sanitize);
+    sum += snn::evaluate(scratch, state->baseline->labels, state->test,
+                         eval_rng);
+  }
+  const double reference = sum / static_cast<double>(trials);
+  EXPECT_EQ(fast, reference);  // bitwise, not approximately
+}
+
 TEST_F(FaultAwareFixture, RejectsZeroTrials) {
   Rng rng(4);
   EXPECT_THROW(
@@ -242,6 +275,25 @@ TEST(Pipeline, AccuracyWithinBoundAcrossVoltages) {
     EXPECT_GE(v.accuracy, r.baseline_accuracy -
                               cfg.fault_training.accuracy_bound - 0.04)
         << "at " << v.v_supply << " V";
+}
+
+TEST(Pipeline, RecordsPhaseWallClockTimings) {
+  PipelineConfig cfg;
+  cfg.network.n_neurons = 25;
+  cfg.network.seed = 42;
+  cfg.train_samples = 100;
+  cfg.test_samples = 50;
+  cfg.baseline_epochs = 1;
+  cfg.fault_training.ber_stages = {1e-5, 1e-3};
+  cfg.voltages = {1.250, 1.025};
+  const auto r = run_pipeline(cfg);
+  const auto& t = r.timings;
+  EXPECT_GT(t.train_ns, 0.0);
+  EXPECT_GT(t.fault_training_ns, 0.0);
+  EXPECT_GT(t.sweep_ns, 0.0);
+  // The phases tile the run: they sum to the total (same clock reads).
+  EXPECT_NEAR(t.train_ns + t.fault_training_ns + t.sweep_ns, t.total_ns,
+              t.total_ns * 1e-9 + 1.0);
 }
 
 TEST(Pipeline, RejectsEmptyVoltageList) {

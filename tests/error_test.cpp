@@ -342,6 +342,129 @@ TEST(ErrorModels, Model3PrefersSetBits) {
   EXPECT_GT(flips_ones, flips_zeros * 5);
 }
 
+// ---------------------------------------- delta injection + frozen tables
+
+TEST(DeltaInjection, RevertRestoresWeightsBitwise) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  Rng rng(11);
+  auto w = f.weights;
+  std::vector<WeightFlip> log;
+  const auto flips = inj.inject(w, 1e-3, rng, {0.0f, 0.4f}, &log);
+  ASSERT_GT(flips, 0u);
+  EXPECT_EQ(flips, log.size());
+  EXPECT_NE(w, f.weights);
+  revert_flips(w, log);
+  EXPECT_EQ(w, f.weights);  // exact pre-injection bit patterns
+}
+
+TEST(DeltaInjection, LoggingDoesNotChangeTheInjection) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  Rng a(12), b(12);
+  auto wa = f.weights, wb = f.weights;
+  std::vector<WeightFlip> log;
+  const auto na = inj.inject(wa, 1e-3, a);
+  const auto nb = inj.inject(wb, 1e-3, b, {}, &log);
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(FrozenInjection_, MatchesLegacyInjectBitwise) {
+  // The frozen table must replay the exact legacy behaviour at its BER:
+  // same flips, same resulting weights, same Rng consumption (the streams
+  // must stay aligned for bit-identical Monte-Carlo trials).
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  for (const double ber : {1e-5, 1e-4, 1e-3}) {
+    const auto frozen = inj.freeze(ber);
+    Rng a(13), b(13);
+    auto wa = f.weights, wb = f.weights;
+    const auto na = inj.inject(wa, ber, a, {0.0f, 0.4f});
+    const auto nb = frozen.inject(wb, b, {0.0f, 0.4f});
+    EXPECT_EQ(na, nb) << "ber " << ber;
+    EXPECT_EQ(wa, wb) << "ber " << ber;
+    EXPECT_EQ(a.next_u64(), b.next_u64()) << "Rng streams diverged";
+  }
+}
+
+TEST(FrozenInjection_, Model3MatchesLegacyInjectBitwise) {
+  // Model-3 decides per stored bit value, so the frozen path must read the
+  // same current bits in the same order.
+  InjectorFixture f;
+  ErrorModelSpec spec;
+  spec.kind = ErrorModelKind::kModel3DataDependent;
+  spec.p1 = 0.9;
+  spec.p0 = 0.1;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, spec,
+                                              f.placement, f.n_weights, 42,
+                                              1e-3);
+  const auto frozen = inj.freeze(1e-3);
+  Rng a(14), b(14);
+  auto wa = f.weights, wb = f.weights;
+  const auto na = inj.inject(wa, 1e-3, a, {0.0f, 0.4f});
+  const auto nb = frozen.inject(wb, b, {0.0f, 0.4f});
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(wa, wb);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(FrozenInjection_, TablesAreNestedAcrossBer) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  std::size_t prev = 0;
+  for (const double ber : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    const auto frozen = inj.freeze(ber);
+    EXPECT_EQ(frozen.ber(), ber);
+    EXPECT_GE(frozen.size(), prev);
+    prev = frozen.size();
+  }
+  // At the enumerated maximum the table is the whole candidate list.
+  EXPECT_EQ(inj.freeze(1e-3).size(), inj.candidate_count());
+  EXPECT_THROW((void)inj.freeze(1e-2), ContractViolation);
+}
+
+TEST(FrozenInjection_, DeltaRoundTripThroughTheTable) {
+  InjectorFixture f;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, {}, f.placement,
+                                              f.n_weights, 42, 1e-3);
+  const auto frozen = inj.freeze(1e-3);
+  Rng rng(15);
+  auto w = f.weights;
+  // Several consecutive inject/revert cycles on ONE buffer (the Monte-Carlo
+  // trial pattern) must leave it untouched every time.
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<WeightFlip> log;
+    const auto flips = frozen.inject(w, rng, {0.0f, 0.4f}, &log);
+    EXPECT_EQ(flips, log.size());
+    revert_flips(w, log);
+    EXPECT_EQ(w, f.weights) << "trial " << trial;
+  }
+}
+
+TEST(FrozenInjection_, CarriesRetentionCandidatesAtAnyBer) {
+  // Retention-weak cells are below every BER threshold, so a table frozen
+  // at BER 0 still injects them — same composition rule as inject().
+  InjectorFixture f;
+  ErrorModelSpec spec;
+  spec.retention.enabled = true;
+  spec.retention.interval_multiplier = 32.0;
+  const auto inj = ErrorInjector::for_weights(f.g, f.profile, spec,
+                                              f.placement, f.n_weights, 42,
+                                              0.0);
+  const auto frozen = inj.freeze(0.0);
+  EXPECT_EQ(frozen.size(), inj.retention_candidate_count());
+  EXPECT_GT(frozen.size(), 0u);
+  Rng a(16), b(16);
+  auto wa = f.weights, wb = f.weights;
+  EXPECT_EQ(inj.inject(wa, 0.0, a), frozen.inject(wb, b));
+  EXPECT_EQ(wa, wb);
+}
+
 // ----------------------------------------------------------------- retention
 
 RetentionSpec retention_at(double multiplier) {

@@ -387,6 +387,15 @@ TEST(Runner, DigestEmitsRefreshFieldsOnlyForRefreshScenarios) {
   EXPECT_NE(relaxed.find(" retweak="), std::string::npos);
 }
 
+TEST(Runner, WallClockTimingsNeverReachJsonOrDigest) {
+  // run_pipeline records host-dependent phase timings; they must stay out
+  // of both machine-diffable serializations or every golden would flake.
+  const auto& r = golden_result(0);
+  EXPECT_GT(r.report.timings.total_ns, 0.0);
+  EXPECT_EQ(to_json({r}).find("timing"), std::string::npos);
+  EXPECT_EQ(digest(r).find("timing"), std::string::npos);
+}
+
 TEST(Runner, RejectsInvalidScenario) {
   Scenario bad = *find_scenario("smoke-digits-m0");
   bad.voltages.clear();

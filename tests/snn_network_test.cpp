@@ -7,6 +7,7 @@
 #include <cmath>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "data/dataset.hpp"
@@ -164,6 +165,83 @@ TEST(Network, RejectsDegenerateConfig) {
   EXPECT_THROW(Network{cfg}, ContractViolation);
 }
 
+// --------------------------------------------- transposed inference layout
+
+TEST(Network, TransposeMirrorsRowMajorAfterTraining) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng rng(1);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/true, rng);
+  EXPECT_FALSE(net.transpose_synced());  // training moved the rows
+  net.sync_transpose();
+  const auto& w = net.weights();
+  const auto& wt = net.weights_T();
+  ASSERT_EQ(wt.size(), w.size());
+  for (std::size_t n = 0; n < cfg.n_neurons; ++n)
+    for (std::size_t i = 0; i < cfg.n_inputs; ++i)
+      ASSERT_EQ(wt[i * cfg.n_neurons + n], w[n * cfg.n_inputs + i])
+          << "neuron " << n << " input " << i;
+}
+
+TEST(Network, StaleTransposeIsRejectedUntilSynced) {
+  Network net(tiny_config());
+  net.weights_mut()[3] = 0.77f;
+  EXPECT_FALSE(net.transpose_synced());
+  EXPECT_THROW((void)net.weights_T(), ContractViolation);
+  EXPECT_THROW((void)net.weights_delta(), ContractViolation);
+  InferenceState state(net);
+  Rng rng(1);
+  EXPECT_THROW((void)net.infer(state, bright_image(net.config().n_inputs),
+                               rng),
+               ContractViolation);
+  net.sync_transpose();
+  EXPECT_EQ(net.weights_T()[3 * net.config().n_neurons], 0.77f);
+}
+
+TEST(Network, DeltaMirrorEqualsFullResync) {
+  const auto cfg = tiny_config();
+  Network full(cfg), delta(cfg);
+  const std::size_t idx = 5 * cfg.n_inputs + 17;  // neuron 5, input 17
+  full.weights_mut()[idx] = 0.123f;
+  full.sync_transpose();
+  delta.weights_delta()[idx] = 0.123f;
+  delta.mirror_weight(idx);
+  EXPECT_TRUE(delta.transpose_synced());
+  EXPECT_EQ(full.weights(), delta.weights());
+  EXPECT_EQ(full.weights_T(), delta.weights_T());
+}
+
+TEST(Network, InferMatchesProcessBitwise) {
+  // The InferenceState fast path must consume the same Rng stream and
+  // produce the same spike counts as process(learn=false) — including when
+  // one state is reused across samples.
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  Rng train_rng(2);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/true, train_rng);
+  net.sync_transpose();
+  InferenceState state(net);
+  for (const float intensity : {0.8f, 0.5f, 0.2f}) {
+    const auto img = bright_image(cfg.n_inputs, intensity);
+    Rng a(3), b(3);
+    EXPECT_EQ(net.process(img, /*learn=*/false, a), net.infer(state, img, b))
+        << "intensity " << intensity;
+  }
+}
+
+TEST(Network, InferLeavesNetworkUntouched) {
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  InferenceState state(net);
+  const auto w_before = net.weights();
+  const auto theta_before = net.thetas();
+  Rng rng(4);
+  (void)net.infer(state, bright_image(cfg.n_inputs), rng);
+  EXPECT_EQ(net.weights(), w_before);
+  EXPECT_EQ(net.thetas(), theta_before);
+  EXPECT_TRUE(net.transpose_synced());
+}
+
 // ------------------------------------------------------------------- trainer
 
 struct TrainedFixture : public ::testing::Test {
@@ -218,6 +296,21 @@ TEST_F(TrainedFixture, EvaluateIsMeanAccuracy) {
   const double acc = evaluate(model->net, model->labels, test, rng);
   EXPECT_GE(acc, 0.0);
   EXPECT_LE(acc, 1.0);
+}
+
+TEST_F(TrainedFixture, EvaluateOverloadsAgreeBitwise) {
+  // Const fan-out, in-place scratch, and the reusable-InferenceState hot
+  // path must all produce the same accuracy from the same Rng state.
+  Rng a(8), b(8), c(8);
+  const double fanned =
+      evaluate(std::as_const(model->net), model->labels, test, a);
+  const double in_place = evaluate(model->net, model->labels, test, b);
+  model->net.sync_transpose();
+  InferenceState state(model->net);
+  const double reused =
+      evaluate(std::as_const(model->net), state, model->labels, test, c);
+  EXPECT_EQ(fanned, in_place);
+  EXPECT_EQ(fanned, reused);
 }
 
 TEST_F(TrainedFixture, MoreTrainingDoesNotCollapse) {
