@@ -14,6 +14,7 @@
 //
 // Exit codes: 0 success, 2 bad usage / unknown scenario.
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,10 @@ void print_usage(std::FILE* to) {
       "  --refresh SPEC     override the refresh policy of every selected\n"
       "                     scenario: off, nominal, or a multiplier like 8x\n"
       "                     (renames them with a -ref* suffix)\n"
+      "  --layers SPEC      override the layer stack of every selected\n"
+      "                     scenario: 'flat' (single layer) or hidden sizes\n"
+      "                     like 64 or 64,32 (renames them with a -l*\n"
+      "                     suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --digest           print golden digests of the results to stdout\n"
@@ -50,14 +55,27 @@ void print_usage(std::FILE* to) {
       "requires an explicit --scenario/--filter/--all selection.\n");
 }
 
+/// Compact layer-stack label: "1" for the flat network, else
+/// "<depth>:<hidden sizes>", e.g. "3:64-48".
+std::string layers_label(const sparkxd::scenario::Scenario& s) {
+  if (s.hidden_neurons.empty()) return "1";
+  std::string out = std::to_string(s.hidden_neurons.size() + 1) + ":";
+  for (std::size_t i = 0; i < s.hidden_neurons.size(); ++i) {
+    if (i != 0) out += "-";
+    out += std::to_string(s.hidden_neurons[i]);
+  }
+  return out;
+}
+
 void list_scenarios(const std::vector<sparkxd::scenario::Scenario>& all) {
-  std::printf("%-36s %-13s %8s %6s %-10s %-6s %-7s %s\n", "name", "task",
-              "neurons", "volts", "geometry", "model", "refresh",
+  std::printf("%-36s %-13s %8s %-8s %6s %-10s %-6s %-7s %s\n", "name", "task",
+              "neurons", "layers", "volts", "geometry", "model", "refresh",
               "description");
   for (const auto& s : all) {
-    std::printf("%-36s %-13s %8zu %6zu %-10s %-6s %-7s %s\n", s.name.c_str(),
-                sparkxd::data::to_string(s.task), s.n_neurons,
-                s.voltages.size(), s.salp ? "salp" : "commodity",
+    std::printf("%-36s %-13s %8zu %-8s %6zu %-10s %-6s %-7s %s\n",
+                s.name.c_str(), sparkxd::data::to_string(s.task), s.n_neurons,
+                layers_label(s).c_str(), s.voltages.size(),
+                s.salp ? "salp" : "commodity",
                 sparkxd::scenario::model_label(s.error_model.kind),
                 sparkxd::scenario::refresh_label(s.refresh).c_str(),
                 s.description.c_str());
@@ -93,6 +111,46 @@ std::string refresh_suffix(const sparkxd::dram::RefreshPolicy& policy) {
   return label;
 }
 
+/// Parses a --layers SPEC: "flat" (clear the hidden stack) or a comma list
+/// of positive hidden sizes like "64" or "64,32". Exits with usage code 2
+/// on anything else.
+std::vector<std::size_t> parse_layers_spec(const std::string& spec) {
+  // A hidden layer bigger than this is a typo, not a workload.
+  constexpr long long kMaxHidden = 1 << 20;
+  std::vector<std::size_t> hidden;
+  if (spec == "flat") return hidden;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string part = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(part.c_str(), &end, 10);
+    if (part.empty() || end != part.c_str() + part.size() || errno != 0 ||
+        n < 1 || n > kMaxHidden) {
+      std::fprintf(stderr,
+                   "sparkxd_run: --layers wants 'flat' or a comma list of "
+                   "positive hidden sizes like 64,32 (got '%s')\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    hidden.push_back(static_cast<std::size_t>(n));
+    pos = comma + 1;
+  }
+  return hidden;
+}
+
+/// Scenario-name-safe suffix of a --layers override ("-lflat", "-l64-32").
+std::string layers_suffix(const std::vector<std::size_t>& hidden) {
+  if (hidden.empty()) return "-lflat";
+  std::string label = "-l";
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    if (i != 0) label += "-";
+    label += std::to_string(hidden[i]);
+  }
+  return label;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +162,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool override_refresh = false;
   dram::RefreshPolicy refresh_override;
+  bool override_layers = false;
+  std::vector<std::size_t> layers_override;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -132,6 +192,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--refresh") {
       refresh_override = parse_refresh_spec(next("--refresh"));
       override_refresh = true;
+    } else if (arg == "--layers") {
+      layers_override = parse_layers_spec(next("--layers"));
+      override_layers = true;
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--threads") {
@@ -186,16 +249,25 @@ int main(int argc, char** argv) {
     for (const auto& s : matches) add_unique(s);
   }
 
-  // --refresh rewrites every selected scenario onto the requested policy;
-  // the -ref* name suffix keeps overridden results distinguishable from the
-  // built-ins (and their golden digests) in any downstream diff.
-  const auto apply_refresh_override =
+  // --refresh / --layers rewrite every selected scenario onto the requested
+  // policy/stack; the -ref* / -l* name suffixes keep overridden results
+  // distinguishable from the built-ins (and their golden digests) in any
+  // downstream diff.
+  const auto apply_overrides =
       [&](std::vector<scenario::Scenario>& scenarios) {
-        if (!override_refresh) return;
-        for (auto& s : scenarios) {
-          s.refresh = refresh_override;
-          s.name += refresh_suffix(refresh_override);
-          s.description += " [refresh override]";
+        if (override_refresh) {
+          for (auto& s : scenarios) {
+            s.refresh = refresh_override;
+            s.name += refresh_suffix(refresh_override);
+            s.description += " [refresh override]";
+          }
+        }
+        if (override_layers) {
+          for (auto& s : scenarios) {
+            s.hidden_neurons = layers_override;
+            s.name += layers_suffix(layers_override);
+            s.description += " [layers override]";
+          }
         }
       };
 
@@ -203,11 +275,11 @@ int main(int argc, char** argv) {
     // With no selection, --list browses every built-in — still honouring a
     // --refresh override so the listing shows what a run would execute.
     auto shown = selected.empty() ? scenario::builtin_scenarios() : selected;
-    apply_refresh_override(shown);
+    apply_overrides(shown);
     list_scenarios(shown);
     return 0;
   }
-  apply_refresh_override(selected);
+  apply_overrides(selected);
   if (selected.empty()) {
     std::fprintf(stderr,
                  "sparkxd_run: nothing selected — use --scenario, --filter, "

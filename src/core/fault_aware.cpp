@@ -7,12 +7,29 @@
 
 namespace sparkxd::core {
 
+namespace {
+
+/// Derives the injection Rng for layer `l` of trial substream `inject_seed`
+/// (the documented stream discipline): a single-layer stack consumes the
+/// trial stream directly — bit-identical to the pre-stack code — while a
+/// deep stack forks one substream per layer.
+Rng layer_inject_rng(std::uint64_t inject_seed, std::size_t l,
+                     std::size_t n_layers) {
+  return n_layers == 1 ? Rng(inject_seed)
+                       : Rng(inject_seed).fork(static_cast<std::uint64_t>(l));
+}
+
+}  // namespace
+
 double evaluate_corrupted(const snn::Network& net,
                           const snn::NeuronLabels& labels,
-                          const error::ErrorInjector& injector, double ber,
+                          const LayerInjectors& injectors, double ber,
                           const data::Dataset& test, Rng& rng,
                           std::size_t trials, float weight_clip) {
   SPARKXD_REQUIRE(trials >= 1, "need at least one evaluation trial");
+  const std::size_t n_layers = net.n_layers();
+  SPARKXD_REQUIRE(injectors.size() == n_layers,
+                  "need one injector slot per network layer");
   const error::SanitizeRange sanitize{net.config().stdp.w_min, weight_clip};
   // One parent draw keys this call's trial substreams: every trial owns an
   // independent Rng pair and every worker a private corruptible weight
@@ -23,30 +40,40 @@ double evaluate_corrupted(const snn::Network& net,
   // injected errors, not resampling noise.
   const std::uint64_t stream = rng.next_u64();
   // The flip candidates at this BER are the same for every trial: freeze
-  // them once and share the table read-only across the whole fan-out.
-  const error::FrozenInjection frozen = injector.freeze(ber);
+  // them once per corrupted layer and share the tables read-only across
+  // the whole fan-out.
+  std::vector<error::FrozenInjection> frozen(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l)
+    if (injectors[l] != nullptr) frozen[l] = injectors[l]->freeze(ber);
   std::vector<double> accs(trials, 0.0);
   parallel_for_chunks(
       trials, [&](std::size_t begin, std::size_t end, std::size_t) {
-        // One weight copy per worker (each needs a private corruptible
-        // array); between trials only the recorded flips are reverted —
+        // One weight copy per worker (each needs private corruptible
+        // arrays); between trials only the recorded flips are reverted —
         // delta injection replaces the full per-trial snapshot restore.
         // The InferenceState (membrane/encoder scratch) is likewise built
         // once per worker and reused across trials.
         snn::Network scratch = net;
         scratch.sync_transpose();
         snn::InferenceState state(scratch);
-        std::vector<error::WeightFlip> flips;
+        std::vector<std::vector<error::WeightFlip>> flips(n_layers);
         for (std::size_t t = begin; t < end; ++t) {
-          Rng inject_rng(hash_combine(stream, 2 * t));
+          const std::uint64_t inject_seed = hash_combine(stream, 2 * t);
           Rng eval_rng(hash_combine(stream, 2 * t + 1));
-          flips.clear();
-          frozen.inject(scratch.weights_delta(), inject_rng, sanitize,
-                        &flips);
-          for (const auto& f : flips) scratch.mirror_weight(f.word);
+          for (std::size_t l = 0; l < n_layers; ++l) {
+            if (injectors[l] == nullptr) continue;
+            Rng inject_rng = layer_inject_rng(inject_seed, l, n_layers);
+            flips[l].clear();
+            frozen[l].inject(scratch.weights_delta(l), inject_rng, sanitize,
+                             &flips[l]);
+            for (const auto& f : flips[l]) scratch.mirror_weight(l, f.word);
+          }
           accs[t] = snn::evaluate(scratch, state, labels, test, eval_rng);
-          error::revert_flips(scratch.weights_delta(), flips);
-          for (const auto& f : flips) scratch.mirror_weight(f.word);
+          for (std::size_t l = 0; l < n_layers; ++l) {
+            if (injectors[l] == nullptr) continue;
+            error::revert_flips(scratch.weights_delta(l), flips[l]);
+            for (const auto& f : flips[l]) scratch.mirror_weight(l, f.word);
+          }
         }
       });
   double acc_sum = 0.0;
@@ -54,19 +81,42 @@ double evaluate_corrupted(const snn::Network& net,
   return acc_sum / static_cast<double>(trials);
 }
 
+double evaluate_corrupted(const snn::Network& net,
+                          const snn::NeuronLabels& labels,
+                          const error::ErrorInjector& injector, double ber,
+                          const data::Dataset& test, Rng& rng,
+                          std::size_t trials, float weight_clip) {
+  SPARKXD_REQUIRE(net.n_layers() == 1,
+                  "the single-injector overload addresses THE layer of a "
+                  "single-layer network — deep stacks pass a LayerInjectors "
+                  "list");
+  return evaluate_corrupted(net, labels, LayerInjectors{&injector}, ber, test,
+                            rng, trials, weight_clip);
+}
+
 FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
                                          const FaultTrainingConfig& cfg,
-                                         const error::ErrorInjector& injector,
+                                         const LayerInjectors& injectors,
                                          const data::Dataset& train,
                                          const data::Dataset& test, Rng& rng) {
   SPARKXD_REQUIRE(!cfg.ber_stages.empty(), "need at least one BER stage");
   SPARKXD_REQUIRE(std::is_sorted(cfg.ber_stages.begin(), cfg.ber_stages.end()),
                   "BER stages must be ascending (Algorithm 1 raises the BER)");
   SPARKXD_REQUIRE(cfg.epochs_per_stage >= 1, "need at least one epoch/stage");
+  const std::size_t n_layers = baseline.net.n_layers();
+  SPARKXD_REQUIRE(injectors.size() == n_layers,
+                  "need one injector slot per network layer");
 
   const double target = baseline.clean_accuracy - cfg.accuracy_bound;
   const error::SanitizeRange sanitize{baseline.net.config().stdp.w_min,
                                       cfg.weight_clip};
+  const auto inject_all = [&](snn::Network& net, double rate, Rng& r) {
+    // Layers draw serially from the caller's generator, input side first —
+    // for a single-layer stack exactly the legacy single inject call.
+    for (std::size_t l = 0; l < n_layers; ++l)
+      if (injectors[l] != nullptr)
+        injectors[l]->inject(net.weights_mut(l), rate, r, sanitize);
+  };
 
   // model_temp starts as a copy of the baseline (Algorithm 1 line 1).
   snn::TrainedModel model_temp = baseline;
@@ -76,8 +126,8 @@ FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
     for (std::size_t e = 0; e < cfg.epochs_per_stage; ++e) {
       // Error generation + injection into the stored weights (lines 3-4):
       // the training epoch then runs on the corrupted weights, and STDP
-      // re-routes weight mass away from unreliable cells.
-      injector.inject(model_temp.net.weights_mut(), rate, rng, sanitize);
+      // re-routes weight mass away from unreliable cells — in every layer.
+      inject_all(model_temp.net, rate, rng);
       snn::train_epoch(model_temp.net, train, rng);
     }
     // Re-label (receptive fields move during retraining). When configured,
@@ -85,16 +135,20 @@ FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
     // the deployed approximate DRAM — neurons inflated by their weak cells
     // then carry a high bias and are discounted by the vote at inference.
     if (cfg.calibrate_under_errors) {
-      const std::vector<float> snapshot = model_temp.net.weights();
-      injector.inject(model_temp.net.weights_mut(), rate, rng, sanitize);
+      std::vector<std::vector<float>> snapshots(n_layers);
+      for (std::size_t l = 0; l < n_layers; ++l)
+        if (injectors[l] != nullptr) snapshots[l] = model_temp.net.weights(l);
+      inject_all(model_temp.net, rate, rng);
       model_temp.labels = snn::label_neurons(model_temp.net, train, rng);
-      model_temp.net.weights_mut() = snapshot;
+      for (std::size_t l = 0; l < n_layers; ++l)
+        if (injectors[l] != nullptr)
+          model_temp.net.weights_mut(l) = std::move(snapshots[l]);
     } else {
       model_temp.labels = snn::label_neurons(model_temp.net, train, rng);
     }
     // Test under corruption at this stage's rate (lines 8-9).
     const double acc = evaluate_corrupted(model_temp.net, model_temp.labels,
-                                          injector, rate, test, rng,
+                                          injectors, rate, test, rng,
                                           cfg.eval_trials, cfg.weight_clip);
     result.stage_curve.push_back({rate, acc});
     // Lines 10-13: accept this stage if it still meets the target.
@@ -109,6 +163,19 @@ FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
   // (callers check met_target).
   if (!result.met_target) result.improved = model_temp;
   return result;
+}
+
+FaultAwareResult improve_error_tolerance(const snn::TrainedModel& baseline,
+                                         const FaultTrainingConfig& cfg,
+                                         const error::ErrorInjector& injector,
+                                         const data::Dataset& train,
+                                         const data::Dataset& test, Rng& rng) {
+  SPARKXD_REQUIRE(baseline.net.n_layers() == 1,
+                  "the single-injector overload addresses THE layer of a "
+                  "single-layer network — deep stacks pass a LayerInjectors "
+                  "list");
+  return improve_error_tolerance(baseline, cfg, LayerInjectors{&injector},
+                                 train, test, rng);
 }
 
 ToleranceAnalysis analyze_tolerance(const snn::Network& net,
@@ -128,6 +195,40 @@ ToleranceAnalysis analyze_tolerance(const snn::Network& net,
     if (acc >= target_accuracy) {
       out.ber_th = ber;
       out.met_target = true;
+    }
+  }
+  return out;
+}
+
+std::vector<ToleranceAnalysis> analyze_layer_tolerance(
+    const snn::Network& net, const snn::NeuronLabels& labels,
+    const LayerInjectors& injectors, const std::vector<double>& rates,
+    double target_accuracy, const data::Dataset& test, Rng& rng,
+    std::size_t trials, float weight_clip) {
+  SPARKXD_REQUIRE(std::is_sorted(rates.begin(), rates.end()),
+                  "linear search expects ascending BER values");
+  const std::size_t n_layers = net.n_layers();
+  SPARKXD_REQUIRE(injectors.size() == n_layers,
+                  "need one injector per network layer");
+  for (const auto* inj : injectors)
+    SPARKXD_REQUIRE(inj != nullptr,
+                    "per-layer tolerance analysis needs every layer's "
+                    "injector populated");
+
+  std::vector<ToleranceAnalysis> out(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    // Corrupt ONLY layer l: the difference from the clean accuracy is this
+    // layer's own contribution to the error budget.
+    LayerInjectors solo(n_layers, nullptr);
+    solo[l] = injectors[l];
+    for (const double ber : rates) {
+      const double acc = evaluate_corrupted(net, labels, solo, ber, test, rng,
+                                            trials, weight_clip);
+      out[l].curve.push_back({ber, acc});
+      if (acc >= target_accuracy) {
+        out[l].ber_th = ber;
+        out[l].met_target = true;
+      }
     }
   }
   return out;

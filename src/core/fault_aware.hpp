@@ -66,6 +66,12 @@ struct FaultAwareResult {
   std::vector<TolerancePoint> stage_curve;  ///< accuracy after each stage
 };
 
+/// Per-layer injector list for a layer-stack network: entry `l` corrupts
+/// layer `l`'s DRAM-resident weights; a null entry leaves that layer clean
+/// (used by the per-layer tolerance analysis to corrupt one layer at a
+/// time). Size must equal the network's n_layers().
+using LayerInjectors = std::vector<const error::ErrorInjector*>;
+
 /// Evaluates a model with weights corrupted at `ber` through `injector`.
 /// Averages `trials` fresh error draws; trials run concurrently (see
 /// common/parallel), each with its own Rng substream keyed off one draw
@@ -86,6 +92,21 @@ struct FaultAwareResult {
                                         Rng& rng, std::size_t trials = 1,
                                         float weight_clip = kDefaultWeightClip);
 
+/// Layer-stack generalization: every non-null entry of `injectors` corrupts
+/// its layer's weights at `ber` each trial. Rng stream discipline: a
+/// single-layer stack consumes the trial's injection stream directly — the
+/// legacy discipline, so the single-injector overload above is bit-identical
+/// to this one with a one-element list — while an L>1 stack forks per-layer
+/// injection substreams (layer l draws from inject_rng.fork(l)), keeping
+/// each layer's error draw independent of which other layers are corrupted
+/// (what lets the per-layer tolerance analysis reuse the same draws).
+[[nodiscard]] double evaluate_corrupted(const snn::Network& net,
+                                        const snn::NeuronLabels& labels,
+                                        const LayerInjectors& injectors,
+                                        double ber, const data::Dataset& test,
+                                        Rng& rng, std::size_t trials = 1,
+                                        float weight_clip = kDefaultWeightClip);
+
 /// Algorithm 1: improves the baseline model's error tolerance and records
 /// the largest stage BER whose accuracy meets
 /// (baseline.clean_accuracy - cfg.accuracy_bound).
@@ -93,6 +114,16 @@ struct FaultAwareResult {
 [[nodiscard]] FaultAwareResult improve_error_tolerance(
     const snn::TrainedModel& baseline, const FaultTrainingConfig& cfg,
     const error::ErrorInjector& injector, const data::Dataset& train,
+    const data::Dataset& test, Rng& rng);
+
+/// Layer-stack generalization of Algorithm 1: every stage injects each
+/// layer's weights through its own injector (layers in order, all drawing
+/// serially from `rng`) before the retraining epoch, so STDP learns around
+/// the weak cells of EVERY layer's DRAM region. One-element lists reproduce
+/// the single-injector overload bit for bit.
+[[nodiscard]] FaultAwareResult improve_error_tolerance(
+    const snn::TrainedModel& baseline, const FaultTrainingConfig& cfg,
+    const LayerInjectors& injectors, const data::Dataset& train,
     const data::Dataset& test, Rng& rng);
 
 /// §IV-C tolerance analysis on an already-trained model: evaluates the
@@ -109,5 +140,22 @@ struct ToleranceAnalysis {
     const error::ErrorInjector& injector, const std::vector<double>& rates,
     double target_accuracy, const data::Dataset& test, Rng& rng,
     std::size_t trials = 1);
+
+/// PER-LAYER tolerance analysis (the EnforceSNN/EDEN structure): for each
+/// layer of the stack, runs analyze_tolerance with ONLY that layer
+/// corrupted (all other layers clean) and returns one curve + BER_th per
+/// layer, in layer order. Different layers tolerate different BERs — early
+/// layers feed every later computation while the output layer is protected
+/// by the bias-corrected population vote — and the per-layer BER_th vector
+/// is what the error-aware mapping consumes to give each layer its own
+/// placement threshold. `injectors` must be fully populated (one non-null
+/// injector per layer, built over that layer's placement). Layers consume
+/// `rng` serially, so the result is deterministic in its state.
+[[nodiscard]] std::vector<ToleranceAnalysis> analyze_layer_tolerance(
+    const snn::Network& net, const snn::NeuronLabels& labels,
+    const LayerInjectors& injectors, const std::vector<double>& rates,
+    double target_accuracy, const data::Dataset& test, Rng& rng,
+    std::size_t trials = 1,
+    float weight_clip = kDefaultWeightClip);
 
 }  // namespace sparkxd::core

@@ -16,6 +16,8 @@ void PipelineConfig::validate() const {
   SPARKXD_REQUIRE(test_samples > 0, "need at least one test sample");
   SPARKXD_REQUIRE(network.n_inputs > 0 && network.n_neurons > 0,
                   "network must have inputs and neurons");
+  for (const std::size_t h : network.hidden_neurons)
+    SPARKXD_REQUIRE(h > 0, "hidden layer sizes must be positive");
   SPARKXD_REQUIRE(!fault_training.ber_stages.empty(),
                   "fault-training schedule needs at least one BER stage");
   for (std::size_t i = 0; i < fault_training.ber_stages.size(); ++i) {
@@ -85,25 +87,60 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   const energy::PowerModel power_model;
   const error::SubarrayProfile profile(cfg.geometry, cfg.seed,
                                        cfg.subarray_sigma);
-  const std::size_t n_weights =
-      cfg.network.n_inputs * cfg.network.n_neurons;
+  const std::size_t n_layers = cfg.network.n_layers();
+  std::vector<std::size_t> layer_weights(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l)
+    layer_weights[l] = cfg.network.layer_weight_count(l);
 
-  // Training-time injector: the paper trains against the *baseline* mapping
-  // (weights in subsequent addresses of a bank, §IV-B Step-2).
-  const auto base_place = mapping::baseline_placement(cfg.geometry, n_weights);
+  // Training-time injectors: the paper trains against the *baseline* mapping
+  // (weights in subsequent addresses of a bank, §IV-B Step-2); each layer
+  // occupies its own slice of that walk. All layers share the module's one
+  // weak-cell reality (same seed — weakness is hashed per physical cell, and
+  // the per-layer regions are disjoint addresses of the same device).
+  const auto base_places =
+      mapping::baseline_placement_layers(cfg.geometry, layer_weights);
   const double max_stage_ber = cfg.fault_training.ber_stages.back();
-  const auto train_injector = error::ErrorInjector::for_weights(
-      cfg.geometry, profile, cfg.error_model, base_place, n_weights,
-      cfg.seed, max_stage_ber);
+  std::vector<error::ErrorInjector> train_injectors;
+  train_injectors.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l)
+    train_injectors.push_back(error::ErrorInjector::for_weights(
+        cfg.geometry, profile, cfg.error_model, base_places[l],
+        layer_weights[l], cfg.seed, max_stage_ber));
+  LayerInjectors train_injector_ptrs;
+  for (const auto& inj : train_injectors) train_injector_ptrs.push_back(&inj);
 
   // --- Algorithm 1: fault-aware training + BER_th. -------------------------
   auto fa = improve_error_tolerance(baseline, cfg.fault_training,
-                                    train_injector, train, test, rng);
+                                    train_injector_ptrs, train, test, rng);
   report.ber_th = fa.ber_th;
   report.met_target = fa.met_target;
   report.stage_curve = std::move(fa.stage_curve);
   report.improved_accuracy =
       snn::evaluate(fa.improved.net, fa.improved.labels, test, rng);
+
+  // --- Per-layer tolerance analysis (§IV-C, per layer). --------------------
+  // A single-layer stack's per-layer vector IS the global result — no extra
+  // analysis runs (and no Rng is consumed), keeping legacy runs
+  // bit-identical. Deep stacks re-run the analysis once per layer with only
+  // that layer corrupted; the resulting BER_th vector drives the per-layer
+  // mapping thresholds in the sweep below.
+  report.layer_ber_th.assign(n_layers, fa.met_target ? fa.ber_th : 0.0);
+  report.layer_met_target.assign(n_layers, fa.met_target);
+  if (n_layers > 1) {
+    const double target =
+        baseline.clean_accuracy - cfg.fault_training.accuracy_bound;
+    const auto per_layer = analyze_layer_tolerance(
+        fa.improved.net, fa.improved.labels, train_injector_ptrs,
+        cfg.fault_training.ber_stages, target, test, rng,
+        cfg.fault_training.eval_trials, cfg.fault_training.weight_clip);
+    report.layer_curves.resize(n_layers);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      report.layer_ber_th[l] =
+          per_layer[l].met_target ? per_layer[l].ber_th : 0.0;
+      report.layer_met_target[l] = per_layer[l].met_target;
+      report.layer_curves[l] = per_layer[l].curve;
+    }
+  }
   const auto t_fault_trained = now();
   report.timings.fault_training_ns = since(t_trained, t_fault_trained);
 
@@ -114,11 +151,13 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   const dram::RefreshPolicy baseline_refresh =
       cfg.refresh.simulated() ? dram::RefreshPolicy::nominal()
                               : dram::RefreshPolicy::disabled();
-  const auto base_te = weight_stream_energy(
-      cfg.geometry, base_place, n_weights, energy::kNominalVdd, voltage_model,
-      power_model, /*salp=*/false, baseline_refresh);
-  report.baseline_energy_nj = base_te.energy.total_nj();
-  report.baseline_time_ns = base_te.stats.total_time_ns;
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto base_te = weight_stream_energy(
+        cfg.geometry, base_places[l], layer_weights[l], energy::kNominalVdd,
+        voltage_model, power_model, /*salp=*/false, baseline_refresh);
+    report.baseline_energy_nj += base_te.energy.total_nj();
+    report.baseline_time_ns += base_te.stats.total_time_ns;
+  }
 
   // --- Per-voltage: Algorithm 2 mapping + accuracy + energy. ---------------
   // Voltages are independent given the trained model, so the sweep runs
@@ -134,49 +173,68 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
     row.v_supply = v;
     row.module_ber = ber_model.ber(v);
 
-    // Algorithm 2 needs enough safe capacity; if the learned BER_th is too
-    // strict to fit the weights at this operating BER, relax it to the
-    // smallest feasible threshold and report that honestly.
-    double threshold = fa.met_target ? fa.ber_th : 0.0;
-    mapping::SparkXdPlacement placement;
-    for (;;) {
-      try {
-        placement = mapping::sparkxd_placement(cfg.geometry, profile,
-                                               row.module_ber, threshold,
-                                               n_weights);
-        break;
-      } catch (const ContractViolation&) {
-        row.capacity_relaxed = true;
-        threshold = threshold == 0.0 ? row.module_ber * 0.125 : threshold * 2.0;
-        SPARKXD_REQUIRE(threshold < 1.0,
-                        "weights cannot fit even with every subarray unsafe");
-      }
+    // Algorithm 2 per layer: each layer's weights go into its own region of
+    // safe subarrays at ITS tolerance threshold; if a layer's learned
+    // BER_th is too strict to fit at this operating BER, the placement
+    // relaxes it to the smallest feasible threshold and reports that
+    // honestly (LayerPlacement::capacity_relaxed).
+    const auto placement = mapping::sparkxd_placement_layers(
+        cfg.geometry, profile, row.module_ber, report.layer_ber_th,
+        layer_weights);
+    for (const auto& lp : placement) {
+      row.capacity_relaxed |= lp.capacity_relaxed;
+      row.safe_subarrays = std::max(row.safe_subarrays, lp.safe_subarrays);
     }
-    row.safe_subarrays = placement.safe_subarrays;
 
-    // Accuracy of the improved model with errors drawn through the
+    // Accuracy of the improved model with errors drawn through each layer's
     // Algorithm-2 placement at this voltage's module BER.
-    const auto eval_injector = error::ErrorInjector::for_weights(
-        cfg.geometry, profile, cfg.error_model, placement.chunks, n_weights,
-        cfg.seed, std::max(row.module_ber, 1e-12));
+    std::vector<error::ErrorInjector> eval_injectors;
+    eval_injectors.reserve(n_layers);
+    for (std::size_t l = 0; l < n_layers; ++l)
+      eval_injectors.push_back(error::ErrorInjector::for_weights(
+          cfg.geometry, profile, cfg.error_model, placement[l].chunks,
+          layer_weights[l], cfg.seed, std::max(row.module_ber, 1e-12)));
+    LayerInjectors eval_ptrs;
+    for (const auto& inj : eval_injectors) eval_ptrs.push_back(&inj);
     row.accuracy = evaluate_corrupted(
-        fa.improved.net, fa.improved.labels, eval_injector, row.module_ber,
+        fa.improved.net, fa.improved.labels, eval_ptrs, row.module_ber,
         test, vrng, cfg.fault_training.eval_trials,
         cfg.fault_training.weight_clip);
 
-    // Energy + throughput of the SparkXD mapping at this voltage.
-    const auto te = weight_stream_energy(cfg.geometry, placement.chunks,
-                                         n_weights, v, voltage_model,
-                                         power_model, cfg.salp, cfg.refresh);
-    row.refreshes = te.stats.refreshes;
-    row.retention_weak_cells = eval_injector.retention_candidate_count();
-    row.energy_nj = te.energy.total_nj();
+    // Energy + throughput of the SparkXD mapping at this voltage: each
+    // layer's weight stream is simulated over its own placement and the
+    // totals aggregate the layers.
+    row.layers.resize(n_layers);
+    double total_time_ns = 0.0;
+    std::uint64_t hits = 0, accesses = 0;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const auto te = weight_stream_energy(cfg.geometry, placement[l].chunks,
+                                           layer_weights[l], v, voltage_model,
+                                           power_model, cfg.salp, cfg.refresh);
+      LayerVoltageStats& ls = row.layers[l];
+      ls.ber_th = placement[l].ber_th;
+      ls.capacity_relaxed = placement[l].capacity_relaxed;
+      ls.chunks = placement[l].chunks.size();
+      ls.safe_subarrays = placement[l].safe_subarrays;
+      ls.energy_nj = te.energy.total_nj();
+      ls.row_hit_rate = te.stats.hit_rate();
+      ls.refreshes = te.stats.refreshes;
+      ls.retention_weak_cells = eval_injectors[l].retention_candidate_count();
+      row.refreshes += ls.refreshes;
+      row.retention_weak_cells += ls.retention_weak_cells;
+      row.energy_nj += ls.energy_nj;
+      total_time_ns += te.stats.total_time_ns;
+      hits += te.stats.hits;
+      accesses += te.stats.accesses;
+    }
     row.saving_pct =
         100.0 * (1.0 - row.energy_nj / report.baseline_energy_nj);
-    row.speedup = te.stats.total_time_ns > 0.0
-                      ? report.baseline_time_ns / te.stats.total_time_ns
+    row.speedup = total_time_ns > 0.0
+                      ? report.baseline_time_ns / total_time_ns
                       : 1.0;
-    row.row_hit_rate = te.stats.hit_rate();
+    row.row_hit_rate = accesses ? static_cast<double>(hits) /
+                                      static_cast<double>(accesses)
+                                : 0.0;
     report.per_voltage[vi] = row;
   });
   const auto t_done = now();

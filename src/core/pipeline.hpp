@@ -58,6 +58,22 @@ struct PipelineConfig {
   void validate() const;
 };
 
+/// Per-layer slice of one voltage row: the placement, occupancy, and DRAM
+/// accounting of ONE layer of the stack (its weights live in their own
+/// disjoint safe-subarray region with their own BER threshold). The
+/// top-level VoltageReport fields aggregate these — energy/refreshes/weak
+/// cells by sum, the hit rate over the combined access counts.
+struct LayerVoltageStats {
+  double ber_th = 0.0;  ///< threshold this layer was placed under (post-relax)
+  bool capacity_relaxed = false;  ///< threshold raised to fit this layer
+  std::size_t chunks = 0;         ///< burst chunks holding this layer
+  std::size_t safe_subarrays = 0; ///< subarrays safe at this layer's BER_th
+  double energy_nj = 0.0;         ///< streaming this layer's weights once
+  double row_hit_rate = 0.0;
+  std::uint64_t refreshes = 0;
+  std::size_t retention_weak_cells = 0;
+};
+
 /// Per-voltage evaluation row (one bar group of Fig. 12a / 12b).
 struct VoltageReport {
   double v_supply = 0.0;
@@ -73,6 +89,13 @@ struct VoltageReport {
   /// Retention-failure weak cells in the mapped payload (0 unless the
   /// refresh policy is simulated with a retention-enabled error model).
   std::size_t retention_weak_cells = 0;
+  /// One entry per network layer (size n_layers; a single-layer stack has
+  /// one entry that mirrors the top-level fields). For deep stacks the
+  /// top-level energy_nj/refreshes/retention_weak_cells are the sums over
+  /// these, row_hit_rate aggregates the access counts, safe_subarrays is
+  /// the most permissive layer's count, and capacity_relaxed is true when
+  /// ANY layer's threshold had to be relaxed.
+  std::vector<LayerVoltageStats> layers;
 };
 
 /// Wall-clock phase timings of one run_pipeline call (nanoseconds).
@@ -93,6 +116,16 @@ struct PipelineReport {
   double ber_th = 0.0;
   bool met_target = false;
   std::vector<TolerancePoint> stage_curve;
+  /// Per-layer maximum tolerable BER (size = network n_layers, input side
+  /// first). For a single-layer stack this is {ber_th} — the global
+  /// analysis IS the one layer's analysis, so no extra work (or Rng
+  /// consumption) happens. For deep stacks it is the §IV-C analysis run
+  /// once per layer with ONLY that layer corrupted (see
+  /// analyze_layer_tolerance); 0.0 where the bound was never met.
+  std::vector<double> layer_ber_th;
+  std::vector<bool> layer_met_target;        ///< per-layer bound met?
+  /// Per-layer tolerance curves (deep stacks only; empty for single-layer).
+  std::vector<std::vector<TolerancePoint>> layer_curves;
   double baseline_energy_nj = 0.0;  ///< accurate DRAM @1.35 V, baseline map
   double baseline_time_ns = 0.0;
   std::vector<VoltageReport> per_voltage;

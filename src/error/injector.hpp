@@ -31,7 +31,12 @@
 // The injector is representation-agnostic: weak cells are enumerated at
 // byte granularity, so the same machinery corrupts FP32 weights
 // (inject / inject_all_weak) and quantized int8 weights or any other byte
-// payload (inject_bytes). For performance, candidates are pre-enumerated
+// payload (inject_bytes). It is also layer-agnostic: a deep SNN stack
+// builds ONE injector per layer, each over that layer's (disjoint)
+// placement with the SAME seed — the module has one weak-cell reality,
+// hashed per physical cell, so per-layer injectors corrupt exactly the
+// cells a whole-module injector would. core::evaluate_corrupted's
+// LayerInjectors overload documents the per-layer Rng stream discipline. For performance, candidates are pre-enumerated
 // once per placement up to a maximum BER (concurrently across chunks — the
 // enumeration is stateless hashing, see common/parallel); injecting at any
 // lower BER is a linear pass over that (small) candidate list.

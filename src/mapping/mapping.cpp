@@ -97,6 +97,116 @@ SparkXdPlacement sparkxd_placement(const dram::Geometry& g,
   return result;
 }
 
+std::vector<error::ChunkPlacement> baseline_placement_layers(
+    const dram::Geometry& g, const std::vector<std::size_t>& layer_weights) {
+  SPARKXD_REQUIRE(!layer_weights.empty(), "need at least one layer");
+  const std::size_t wpc = weights_per_chunk(g);
+  // Whole chunks per layer: a layer whose weights end mid-chunk pads the
+  // remainder, so the next layer starts chunk-aligned and the regions stay
+  // disjoint.
+  std::size_t total_chunks = 0;
+  for (const std::size_t n : layer_weights)
+    total_chunks += chunks_for_weights(g, n);
+  const auto flat = baseline_placement(g, total_chunks * wpc);
+
+  std::vector<error::ChunkPlacement> out(layer_weights.size());
+  std::size_t cursor = 0;
+  for (std::size_t l = 0; l < layer_weights.size(); ++l) {
+    const std::size_t n = chunks_for_weights(g, layer_weights[l]);
+    out[l].assign(flat.begin() + static_cast<std::ptrdiff_t>(cursor),
+                  flat.begin() + static_cast<std::ptrdiff_t>(cursor + n));
+    cursor += n;
+  }
+  return out;
+}
+
+namespace {
+
+/// One attempt at placing a layer with Algorithm 2's loop nest, skipping
+/// rows already holding earlier layers. Fills `lp.chunks` and the occupancy
+/// diagnostics; returns false (leaving `used` untouched) when the safe
+/// subarrays cannot hold the layer. On success the consumed rows are marked
+/// in `used` (row granularity: partially filled rows are retired whole).
+bool try_place_layer(const dram::Geometry& g,
+                     const error::SubarrayProfile& profile, double module_ber,
+                     std::size_t needed, mapping::LayerPlacement& lp,
+                     std::vector<std::uint8_t>& used) {
+  const std::size_t bursts_per_row = g.columns_per_row / g.burst_columns;
+  lp.chunks.clear();
+  lp.chunks.reserve(needed);
+  lp.safe_subarrays = 0;
+  lp.unsafe_subarrays = 0;
+  for (std::uint64_t s = 0; s < profile.size(); ++s)
+    (profile.rate(s, module_ber) <= lp.ber_th ? lp.safe_subarrays
+                                              : lp.unsafe_subarrays)++;
+
+  auto& out = lp.chunks;
+  std::vector<std::uint64_t> rows;  // row keys consumed by this attempt
+  for (std::uint32_t ch = 0; ch < g.channels && out.size() < needed; ++ch)
+    for (std::uint32_t ra = 0; ra < g.ranks_per_channel && out.size() < needed;
+         ++ra)
+      for (std::uint32_t cp = 0; cp < g.chips_per_rank && out.size() < needed;
+           ++cp)
+        for (std::uint32_t ro = 0;
+             ro < g.rows_per_subarray && out.size() < needed; ++ro)
+          for (std::uint32_t su = 0;
+               su < g.subarrays_per_bank && out.size() < needed; ++su)
+            for (std::uint32_t ba = 0;
+                 ba < g.banks_per_chip && out.size() < needed; ++ba) {
+              const dram::Address probe{ch, ra, cp, ba, su, ro, 0};
+              const auto sid = dram::subarray_id(g, probe);
+              if (profile.rate(sid, module_ber) > lp.ber_th)
+                continue;  // unsafe subarray at this layer's BER_th
+              const std::uint64_t row_key = sid * g.rows_per_subarray + ro;
+              if (used[row_key]) continue;  // row holds an earlier layer
+              rows.push_back(row_key);
+              for (std::size_t b = 0; b < bursts_per_row && out.size() < needed;
+                   ++b)
+                out.push_back(dram::Address{
+                    ch, ra, cp, ba, su, ro,
+                    static_cast<std::uint32_t>(b * g.burst_columns)});
+            }
+
+  if (out.size() < needed) return false;
+  for (const auto key : rows) used[key] = 1;
+  return true;
+}
+
+}  // namespace
+
+std::vector<LayerPlacement> sparkxd_placement_layers(
+    const dram::Geometry& g, const error::SubarrayProfile& profile,
+    double module_ber, const std::vector<double>& thresholds,
+    const std::vector<std::size_t>& layer_weights) {
+  g.validate();
+  SPARKXD_REQUIRE(!layer_weights.empty(), "need at least one layer");
+  SPARKXD_REQUIRE(thresholds.size() == layer_weights.size(),
+                  "need exactly one BER threshold per layer");
+
+  std::vector<std::uint8_t> used(
+      profile.size() * std::uint64_t{g.rows_per_subarray}, 0);
+  std::vector<LayerPlacement> out(layer_weights.size());
+  for (std::size_t l = 0; l < layer_weights.size(); ++l) {
+    LayerPlacement& lp = out[l];
+    lp.ber_th = thresholds[l];
+    SPARKXD_REQUIRE(lp.ber_th >= 0.0, "BER_th must be non-negative");
+    const std::size_t needed = chunks_for_weights(g, layer_weights[l]);
+    // The pipeline's capacity-relax loop, per layer: when the learned
+    // threshold is too strict to fit this layer at the operating BER, relax
+    // it to the smallest feasible threshold and report that honestly.
+    while (!try_place_layer(g, profile, module_ber, needed, lp, used)) {
+      SPARKXD_REQUIRE(lp.safe_subarrays < profile.size(),
+                      "DRAM module cannot hold the layer stack even with "
+                      "every subarray safe");
+      lp.capacity_relaxed = true;
+      lp.ber_th = lp.ber_th == 0.0 ? module_ber * 0.125 : lp.ber_th * 2.0;
+      SPARKXD_REQUIRE(lp.ber_th < 1.0,
+                      "weights cannot fit even with every subarray unsafe");
+    }
+  }
+  return out;
+}
+
 dram::AccessTrace streaming_read_trace(const dram::Geometry& g,
                                        const error::ChunkPlacement& placement,
                                        std::size_t n_weights,

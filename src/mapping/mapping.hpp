@@ -17,6 +17,7 @@
 //    current bank's bursts (the multi-bank burst feature, Fig. 9b).
 
 #include <cstddef>
+#include <vector>
 
 #include "dram/geometry.hpp"
 #include "dram/trace.hpp"
@@ -56,5 +57,45 @@ struct SparkXdPlacement {
 [[nodiscard]] dram::AccessTrace streaming_read_trace(
     const dram::Geometry& g, const error::ChunkPlacement& placement,
     std::size_t n_weights, std::size_t passes = 1);
+
+// ---------------------------------------------------------------------------
+// Multi-layer placements: one address region per layer of an SNN stack.
+// Layers are packed into the SAME module with pairwise-disjoint addresses
+// (row granularity — a row holds chunks of at most one layer, so a layer
+// whose weights end mid-row pads out the remainder). A single-element layer
+// list reproduces the single-layer policies chunk for chunk.
+
+/// The baseline mapping, split per layer: layer l occupies the next
+/// chunks_for_weights(g, layer_weights[l]) subsequent addresses after layer
+/// l-1. Throws if the module cannot hold all layers.
+[[nodiscard]] std::vector<error::ChunkPlacement> baseline_placement_layers(
+    const dram::Geometry& g, const std::vector<std::size_t>& layer_weights);
+
+/// One layer's slice of an error-aware multi-layer placement.
+struct LayerPlacement {
+  error::ChunkPlacement chunks;
+  /// BER threshold this layer was actually placed under. Starts at the
+  /// caller's per-layer BER_th; when the safe subarrays cannot hold the
+  /// layer it is relaxed (0 -> module_ber/8, then doubling) until the layer
+  /// fits, mirroring the pipeline's legacy capacity-relax loop.
+  double ber_th = 0.0;
+  bool capacity_relaxed = false;  ///< BER_th was raised to fit this layer
+  std::size_t safe_subarrays = 0;    ///< subarrays meeting this layer's BER_th
+  std::size_t unsafe_subarrays = 0;  ///< subarrays skipped as unsafe
+};
+
+/// Algorithm 2 generalized to a layer stack with PER-LAYER BER thresholds
+/// (the EnforceSNN/EDEN structure): each layer's weights go only into
+/// subarrays safe at ITS threshold, layers are placed input-side first, and
+/// rows already holding an earlier layer are skipped, so the per-layer
+/// address ranges are disjoint. Every layer keeps the row-hit-maximizing,
+/// bank-rotating walk of the single-layer algorithm. `thresholds` and
+/// `layer_weights` must have equal, non-zero size. For one layer with no
+/// relax this is chunk-for-chunk sparkxd_placement. Throws when a layer
+/// cannot fit even with every subarray unsafe (threshold relaxed past 1).
+[[nodiscard]] std::vector<LayerPlacement> sparkxd_placement_layers(
+    const dram::Geometry& g, const error::SubarrayProfile& profile,
+    double module_ber, const std::vector<double>& thresholds,
+    const std::vector<std::size_t>& layer_weights);
 
 }  // namespace sparkxd::mapping

@@ -19,8 +19,8 @@ void require_named(const std::string& name, const char* axis) {
 
 std::size_t ScenarioMatrix::size() const noexcept {
   return tasks.size() * sizes.size() * geometries.size() *
-         error_models.size() * refresh_policies.size() *
-         voltage_grids.size() * seeds.size();
+         error_models.size() * layer_stacks.size() *
+         refresh_policies.size() * voltage_grids.size() * seeds.size();
 }
 
 std::vector<Scenario> ScenarioMatrix::expand() const {
@@ -28,6 +28,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   SPARKXD_REQUIRE(!sizes.empty(), "matrix size axis is empty");
   SPARKXD_REQUIRE(!geometries.empty(), "matrix geometry axis is empty");
   SPARKXD_REQUIRE(!error_models.empty(), "matrix error-model axis is empty");
+  SPARKXD_REQUIRE(!layer_stacks.empty(), "matrix layer-stack axis is empty");
   SPARKXD_REQUIRE(!refresh_policies.empty(),
                   "matrix refresh-policy axis is empty");
   SPARKXD_REQUIRE(!voltage_grids.empty(), "matrix voltage-grid axis is empty");
@@ -35,6 +36,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   for (const auto& s : sizes) require_named(s.name, "size");
   for (const auto& g : geometries) require_named(g.name, "geometry");
   for (const auto& m : error_models) require_named(m.name, "error-model");
+  for (const auto& ls : layer_stacks) require_named(ls.name, "layer-stack");
   for (const auto& r : refresh_policies) require_named(r.name, "refresh");
   for (const auto& v : voltage_grids) require_named(v.name, "voltage-grid");
 
@@ -44,22 +46,26 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
     for (const auto& size : sizes)
       for (const auto& geom : geometries)
         for (const auto& model : error_models)
-          for (const auto& refresh : refresh_policies)
-            for (const auto& grid : voltage_grids)
-              for (const auto seed : seeds) {
+          for (const auto& stack : layer_stacks)
+            for (const auto& refresh : refresh_policies)
+              for (const auto& grid : voltage_grids)
+                for (const auto seed : seeds) {
                 Scenario s;
                 s.name = task_label(task) + "-" + size.name + "-" +
                          geom.name + "-" + model.name;
+                if (layer_stacks.size() > 1) s.name += "-" + stack.name;
                 if (refresh_policies.size() > 1) s.name += "-" + refresh.name;
                 if (voltage_grids.size() > 1) s.name += "-" + grid.name;
                 if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
                 s.description =
                     task_label(task) + " task, " +
                     std::to_string(size.n_neurons) + " neurons, " +
+                    std::to_string(stack.hidden.size() + 1) + " layer(s), " +
                     geom.name + " DRAM, error model " + model.name +
                     ", refresh " + refresh_label(refresh.policy);
                 s.task = task;
                 s.n_neurons = size.n_neurons;
+                s.hidden_neurons = stack.hidden;
                 s.train_samples = size.train_samples;
                 s.test_samples = size.test_samples;
                 s.baseline_epochs = size.baseline_epochs;

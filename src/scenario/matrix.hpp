@@ -45,6 +45,14 @@ struct RefreshSpec {
   dram::RefreshPolicy policy;
 };
 
+/// Layer-stack axis value (the `layers` axis): spiking hidden layer sizes
+/// between the input and the excitatory output layer, input side first.
+/// An empty list is the flat single-layer network of the paper.
+struct LayerStackSpec {
+  std::string name = "flat";
+  std::vector<std::size_t> hidden;
+};
+
 /// Voltage-grid axis value (strictly descending voltages). Defaults to the
 /// paper's five-point grid.
 struct VoltageGridSpec {
@@ -54,16 +62,18 @@ struct VoltageGridSpec {
 
 /// Axis lists plus the shared knobs every expanded scenario inherits.
 /// expand() iterates tasks (outermost), sizes, geometries, error models,
-/// refresh policies, voltage grids, seeds (innermost) and names each cell
-/// "<task>-<size>-<geometry>-<model>", appending "-<refresh>" when the
-/// refresh axis has more than one value, "-<grid>" when the grid axis does,
-/// and "-s<seed>" when the seed axis does, so single-valued axes keep names
-/// short and multi-valued axes keep them unique.
+/// layer stacks, refresh policies, voltage grids, seeds (innermost) and
+/// names each cell "<task>-<size>-<geometry>-<model>", appending
+/// "-<layers>" when the layer-stack axis has more than one value,
+/// "-<refresh>" when the refresh axis does, "-<grid>" when the grid axis
+/// does, and "-s<seed>" when the seed axis does, so single-valued axes keep
+/// names short and multi-valued axes keep them unique.
 struct ScenarioMatrix {
   std::vector<data::Task> tasks = {data::Task::kDigits};
   std::vector<SizeSpec> sizes;
   std::vector<GeometrySpec> geometries;
   std::vector<ErrorModelAxis> error_models;
+  std::vector<LayerStackSpec> layer_stacks = {LayerStackSpec{}};
   std::vector<RefreshSpec> refresh_policies = {
       {"ref-off", dram::RefreshPolicy::disabled()}};
   std::vector<VoltageGridSpec> voltage_grids = {VoltageGridSpec{}};

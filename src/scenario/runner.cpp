@@ -37,6 +37,10 @@ void write_config(json::Writer& w, const Scenario& s) {
   w.key("config").begin_object();
   w.field("task", data::to_string(s.task));
   w.field("neurons", s.n_neurons);
+  w.key("hidden_layers").begin_array();
+  for (const std::size_t h : s.hidden_neurons)
+    w.value(static_cast<std::uint64_t>(h));
+  w.end_array();
   w.field("train_samples", s.train_samples);
   w.field("test_samples", s.test_samples);
   w.field("baseline_epochs", s.baseline_epochs);
@@ -63,12 +67,39 @@ void write_config(json::Writer& w, const Scenario& s) {
   w.end_object();
 }
 
-void write_report(json::Writer& w, const core::PipelineReport& r) {
+void write_report(json::Writer& w, const Scenario& s,
+                  const core::PipelineReport& r) {
+  // Per-layer report blocks are emitted only for deep stacks, so every
+  // pre-layer-stack report (and its byte layout) is unchanged.
+  const bool deep = !s.hidden_neurons.empty();
   w.key("report").begin_object();
   w.field("baseline_accuracy", r.baseline_accuracy);
   w.field("improved_accuracy", r.improved_accuracy);
   w.field("ber_th", r.ber_th);
   w.field("met_target", r.met_target);
+  if (deep) {
+    // The per-layer tolerance vector (input side first): BER_th, whether
+    // the bound was met, and the per-layer accuracy-vs-BER curve.
+    w.key("layer_tolerance").begin_array();
+    for (std::size_t l = 0; l < r.layer_ber_th.size(); ++l) {
+      w.begin_object();
+      w.field("layer", static_cast<std::uint64_t>(l));
+      w.field("ber_th", r.layer_ber_th[l]);
+      w.field("met_target", static_cast<bool>(r.layer_met_target[l]));
+      w.key("curve").begin_array();
+      if (l < r.layer_curves.size()) {
+        for (const auto& p : r.layer_curves[l]) {
+          w.begin_object();
+          w.field("ber", p.ber);
+          w.field("accuracy", p.accuracy);
+          w.end_object();
+        }
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.field("baseline_energy_nj", r.baseline_energy_nj);
   w.field("baseline_time_ns", r.baseline_time_ns);
   w.key("stage_curve").begin_array();
@@ -93,6 +124,23 @@ void write_report(json::Writer& w, const core::PipelineReport& r) {
     w.field("capacity_relaxed", v.capacity_relaxed);
     w.field("refreshes", v.refreshes);
     w.field("retention_weak_cells", v.retention_weak_cells);
+    if (deep) {
+      // Per-layer placement + accounting at this voltage.
+      w.key("layers").begin_array();
+      for (const auto& ls : v.layers) {
+        w.begin_object();
+        w.field("ber_th", ls.ber_th);
+        w.field("capacity_relaxed", ls.capacity_relaxed);
+        w.field("chunks", ls.chunks);
+        w.field("safe_subarrays", ls.safe_subarrays);
+        w.field("energy_nj", ls.energy_nj);
+        w.field("row_hit_rate", ls.row_hit_rate);
+        w.field("refreshes", ls.refreshes);
+        w.field("retention_weak_cells", ls.retention_weak_cells);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();
@@ -122,7 +170,7 @@ std::string to_json(const std::vector<ScenarioResult>& results) {
     w.field("name", r.scenario.name);
     w.field("description", r.scenario.description);
     write_config(w, r.scenario);
-    write_report(w, r.report);
+    write_report(w, r.scenario, r.report);
     w.end_object();
   }
   w.end_array();
@@ -134,16 +182,30 @@ std::string to_json(const std::vector<ScenarioResult>& results) {
 std::string digest(const ScenarioResult& result) {
   const auto& r = result.report;
   // Refresh-axis fields are emitted only for scenarios that simulate
-  // refresh, so every pre-refresh-axis digest stays byte-identical.
+  // refresh, and per-layer fields only for deep stacks, so every
+  // pre-existing digest stays byte-identical.
   const bool refresh_on = result.scenario.refresh.simulated();
+  const bool deep = !result.scenario.hidden_neurons.empty();
   std::string d;
   d += "scenario=" + result.scenario.name + "\n";
   if (refresh_on)
     d += "refresh=" + refresh_label(result.scenario.refresh) + "\n";
+  if (deep) {
+    d += "layers=" + std::to_string(result.scenario.hidden_neurons.size() + 1);
+    d += "\n";
+  }
   d += "baseline_accuracy=" + fixed(6, r.baseline_accuracy) + "\n";
   d += "improved_accuracy=" + fixed(6, r.improved_accuracy) + "\n";
   d += "ber_th=" + sci(3, r.ber_th) + "\n";
   d += std::string("met_target=") + (r.met_target ? "1" : "0") + "\n";
+  if (deep) {
+    // One line per layer: the per-layer tolerance analysis headline.
+    for (std::size_t l = 0; l < r.layer_ber_th.size(); ++l) {
+      d += "layer" + std::to_string(l);
+      d += " ber_th=" + sci(3, r.layer_ber_th[l]);
+      d += std::string(" met=") + (r.layer_met_target[l] ? "1" : "0") + "\n";
+    }
+  }
   d += "baseline_energy_nj=" + sci(6, r.baseline_energy_nj) + "\n";
   d += "baseline_time_ns=" + sci(6, r.baseline_time_ns) + "\n";
   for (const auto& v : r.per_voltage) {
@@ -161,6 +223,25 @@ std::string digest(const ScenarioResult& result) {
       d += " retweak=" + std::to_string(v.retention_weak_cells);
     }
     d += "\n";
+    if (deep) {
+      // Per-layer placement + accounting under the voltage line it
+      // belongs to.
+      for (std::size_t l = 0; l < v.layers.size(); ++l) {
+        const auto& ls = v.layers[l];
+        d += "  L" + std::to_string(l);
+        d += " ber_th=" + sci(3, ls.ber_th);
+        d += std::string(" relaxed=") + (ls.capacity_relaxed ? "1" : "0");
+        d += " chunks=" + std::to_string(ls.chunks);
+        d += " safe=" + std::to_string(ls.safe_subarrays);
+        d += " energy_nj=" + sci(6, ls.energy_nj);
+        d += " hit_rate=" + fixed(6, ls.row_hit_rate);
+        if (refresh_on) {
+          d += " ref=" + std::to_string(ls.refreshes);
+          d += " retweak=" + std::to_string(ls.retention_weak_cells);
+        }
+        d += "\n";
+      }
+    }
   }
   return d;
 }

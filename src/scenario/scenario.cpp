@@ -9,6 +9,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
   core::PipelineConfig cfg;
   cfg.task = task;
   cfg.network.n_neurons = n_neurons;
+  cfg.network.hidden_neurons = hidden_neurons;
   cfg.network.seed = seed;
   cfg.train_samples = train_samples;
   cfg.test_samples = test_samples;
@@ -132,12 +133,26 @@ Scenario smoke_fashion_salp_m1_refresh() {
   return s;
 }
 
+/// Golden-locked deep-stack smoke run: the layer-stack pipeline end to end
+/// — per-layer tolerance analysis, per-layer mapping, per-layer report
+/// fields — on the same tiny digits workload as the voltage smoke.
+Scenario smoke_digits_deep() {
+  Scenario s = smoke_digits_m0();
+  s.name = "smoke-digits-deep";
+  s.description =
+      "tiny 2-layer digits net (784-48-25), commodity DRAM, Model-0 — "
+      "golden-locked deep-stack smoke run";
+  s.hidden_neurons = {48};
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   all.push_back(smoke_digits_m0());
   all.push_back(smoke_fashion_salp_m1());
   all.push_back(smoke_digits_m0_refresh());
   all.push_back(smoke_fashion_salp_m1_refresh());
+  all.push_back(smoke_digits_deep());
 
   const SizeSpec small{"small", 64, 250, 100, 1};
   const SizeSpec medium{"medium", 100, 400, 150, 2};
@@ -165,6 +180,31 @@ std::vector<Scenario> build_registry() {
       {"m1", model_spec(error::ErrorModelKind::kModel1Bitline)},
       {"m2", model_spec(error::ErrorModelKind::kModel2Wordline)}};
   for (auto& s : stripes.expand()) all.push_back(std::move(s));
+
+  // Deep-stack grid: the `layers` axis — 2- and 3-layer stacks on the small
+  // nets across both tasks, per-layer tolerance analysis + per-layer
+  // error-aware mapping end to end (4 scenarios, e.g.
+  // "digits-small-commodity-m0-deep2"), plus one SALP point so the deep
+  // path also exercises the subarray-parallel organization (5 scenarios).
+  ScenarioMatrix deep_grid;
+  deep_grid.tasks = {data::Task::kDigits, data::Task::kFashion};
+  deep_grid.sizes = {small};
+  deep_grid.geometries = {commodity};
+  deep_grid.error_models = {
+      {"m0", model_spec(error::ErrorModelKind::kModel0Uniform)}};
+  deep_grid.layer_stacks = {{"deep2", {64}}, {"deep3", {64, 48}}};
+  for (auto& s : deep_grid.expand()) all.push_back(std::move(s));
+  ScenarioMatrix deep_salp;
+  deep_salp.tasks = {data::Task::kDigits};
+  deep_salp.sizes = {small};
+  deep_salp.geometries = {salp};
+  deep_salp.error_models = {
+      {"m0", model_spec(error::ErrorModelKind::kModel0Uniform)}};
+  deep_salp.layer_stacks = {{"flat", {}}, {"deep2", {64}}};
+  // Only the deep cell is new; the flat cell would duplicate the main
+  // grid's digits-small-salp-m0, so keep just the deep expansion.
+  for (auto& s : deep_salp.expand())
+    if (!s.hidden_neurons.empty()) all.push_back(std::move(s));
 
   // Refresh grid: the second approximation axis on the small nets across
   // both tasks and organizations — nominal cadence plus two relaxed-refresh

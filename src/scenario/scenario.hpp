@@ -8,8 +8,9 @@
 // whole grid can be enumerated, filtered, executed, and regression-checked
 // without hand-writing configs. The built-in registry covers
 // digits/fashion × small/medium networks × commodity/SALP DRAM ×
-// Model-0/1/2 error models, plus two deliberately tiny "smoke-*" scenarios
-// whose reports are locked down by golden digests (tests/golden/).
+// Model-0/1/2 error models × flat/deep layer stacks, plus deliberately tiny
+// "smoke-*" scenarios whose reports are locked down by golden digests
+// (tests/golden/).
 
 #include <cstdint>
 #include <string>
@@ -32,6 +33,11 @@ struct Scenario {
 
   data::Task task = data::Task::kDigits;
   std::size_t n_neurons = 64;
+  /// Spiking hidden layer sizes, input side first (the `layers` axis).
+  /// Empty = the legacy single-layer network; non-empty lowers to a deep
+  /// stack with per-layer tolerance analysis and per-layer error-aware
+  /// mapping (per-layer BER_th + placement stats in the report).
+  std::vector<std::size_t> hidden_neurons;
   std::size_t train_samples = 250;
   std::size_t test_samples = 100;
   std::size_t baseline_epochs = 1;
@@ -68,6 +74,7 @@ inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-fashion-salp-m1",
     "smoke-digits-m0-refresh",
     "smoke-fashion-salp-m1-refresh",
+    "smoke-digits-deep",
 };
 
 /// The built-in registry: ≥10 scenarios covering the evaluation grid, in a

@@ -10,7 +10,9 @@ namespace sparkxd::snn {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'X', 'D', 'M'};
-constexpr std::uint32_t kVersion = 1;
+// v2: layer-stack models — hidden layer sizes plus one weight/theta blob
+// per layer replace the single-layer blobs of v1.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ofstream& os, const T& v) {
@@ -53,6 +55,8 @@ void save_model(const TrainedModel& model, const std::string& path) {
   const auto& cfg = model.net.config();
   write_pod(os, static_cast<std::uint64_t>(cfg.n_inputs));
   write_pod(os, static_cast<std::uint64_t>(cfg.n_neurons));
+  write_vec(os, std::vector<std::uint64_t>(cfg.hidden_neurons.begin(),
+                                           cfg.hidden_neurons.end()));
   write_pod(os, static_cast<std::uint64_t>(cfg.timesteps));
   write_pod(os, cfg.dt_ms);
   write_pod(os, cfg.max_rate);
@@ -61,8 +65,10 @@ void save_model(const TrainedModel& model, const std::string& path) {
   write_pod(os, cfg.lif);
   write_pod(os, cfg.stdp);
 
-  write_vec(os, model.net.weights());
-  write_vec(os, model.net.thetas());
+  for (std::size_t l = 0; l < model.net.n_layers(); ++l) {
+    write_vec(os, model.net.weights(l));
+    write_vec(os, model.net.thetas(l));
+  }
   write_vec(os, model.labels.label);
   write_vec(os, model.labels.bias);
   write_pod(os, static_cast<std::uint64_t>(model.labels.num_classes));
@@ -82,12 +88,16 @@ TrainedModel load_model(const std::string& path) {
   SPARKXD_REQUIRE(version == kVersion, "unsupported model file version");
 
   NetworkConfig cfg;
+  constexpr std::uint64_t kMaxElems = 1ull << 32;  // sanity bound
   std::uint64_t n_inputs = 0, n_neurons = 0, timesteps = 0;
   read_pod(is, n_inputs);
   read_pod(is, n_neurons);
+  std::vector<std::uint64_t> hidden;
+  read_vec(is, hidden, 1024);
   read_pod(is, timesteps);
   cfg.n_inputs = static_cast<std::size_t>(n_inputs);
   cfg.n_neurons = static_cast<std::size_t>(n_neurons);
+  cfg.hidden_neurons.assign(hidden.begin(), hidden.end());
   cfg.timesteps = static_cast<std::size_t>(timesteps);
   read_pod(is, cfg.dt_ms);
   read_pod(is, cfg.max_rate);
@@ -96,17 +106,18 @@ TrainedModel load_model(const std::string& path) {
   read_pod(is, cfg.lif);
   read_pod(is, cfg.stdp);
 
-  constexpr std::uint64_t kMaxElems = 1ull << 32;  // sanity bound
   TrainedModel model{Network(cfg), {}, 0.0};
-  std::vector<float> weights, thetas;
-  read_vec(is, weights, kMaxElems);
-  read_vec(is, thetas, kMaxElems);
-  SPARKXD_REQUIRE(weights.size() == cfg.n_inputs * cfg.n_neurons,
-                  "weight payload does not match the stored shape");
-  SPARKXD_REQUIRE(thetas.size() == cfg.n_neurons,
-                  "theta payload does not match the stored shape");
-  model.net.weights_mut() = std::move(weights);
-  model.net.thetas_mut() = std::move(thetas);
+  for (std::size_t l = 0; l < model.net.n_layers(); ++l) {
+    std::vector<float> weights, thetas;
+    read_vec(is, weights, kMaxElems);
+    read_vec(is, thetas, kMaxElems);
+    SPARKXD_REQUIRE(weights.size() == cfg.layer_weight_count(l),
+                    "weight payload does not match the stored shape");
+    SPARKXD_REQUIRE(thetas.size() == cfg.layer_neurons(l),
+                    "theta payload does not match the stored shape");
+    model.net.weights_mut(l) = std::move(weights);
+    model.net.thetas_mut(l) = std::move(thetas);
+  }
 
   read_vec(is, model.labels.label, kMaxElems);
   read_vec(is, model.labels.bias, kMaxElems);

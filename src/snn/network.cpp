@@ -7,62 +7,94 @@
 namespace sparkxd::snn {
 
 InferenceState::InferenceState(const Network& net)
-    : lif_(net.lif_),
-      encoder_(net.cfg_.max_rate),
-      current_(net.cfg_.n_neurons, 0.0f) {
-  // Inference freezes the adaptive thresholds (standard for this
-  // architecture): the copied thetas stay at the network's trained values.
-  lif_.set_plastic(false);
+    : encoder_(net.cfg_.max_rate) {
+  layers_.reserve(net.layers_.size());
+  for (const auto& lay : net.layers_) {
+    // Inference freezes the adaptive thresholds (standard for this
+    // architecture): the copied thetas stay at the network's trained values.
+    LayerSlice slice{lay.lif, std::vector<float>(lay.n_out, 0.0f), {}};
+    slice.lif.set_plastic(false);
+    layers_.push_back(std::move(slice));
+  }
 }
 
+Network::Layer::Layer(std::size_t n_in_, std::size_t n_out_,
+                      const NetworkConfig& cfg)
+    : n_in(n_in_),
+      n_out(n_out_),
+      w(n_in_ * n_out_),
+      wt(n_in_ * n_out_),
+      lif(n_out_, cfg.lif, cfg.dt_ms),
+      traces(n_in_, cfg.stdp.tau_pre_ms, cfg.dt_ms),
+      current(n_out_, 0.0f) {}
+
 Network::Network(const NetworkConfig& cfg)
-    : cfg_(cfg),
-      w_(cfg.n_neurons * cfg.n_inputs),
-      wt_(cfg.n_neurons * cfg.n_inputs),
-      lif_(cfg.n_neurons, cfg.lif, cfg.dt_ms),
-      traces_(cfg.n_inputs, cfg.stdp.tau_pre_ms, cfg.dt_ms),
-      encoder_(cfg.max_rate),
-      current_(cfg.n_neurons, 0.0f) {
+    : cfg_(cfg), encoder_(cfg.max_rate) {
   SPARKXD_REQUIRE(cfg.n_inputs > 0 && cfg.n_neurons > 0,
                   "network dimensions must be positive");
+  for (const std::size_t h : cfg.hidden_neurons)
+    SPARKXD_REQUIRE(h > 0, "hidden layer sizes must be positive");
   SPARKXD_REQUIRE(cfg.timesteps > 0, "need at least one timestep per sample");
   SPARKXD_REQUIRE(cfg.norm_target > 0.0f, "norm_target must be positive");
+
+  const std::size_t n_layers = cfg.n_layers();
+  layers_.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l)
+    layers_.emplace_back(cfg.layer_inputs(l), cfg.layer_neurons(l), cfg);
+
   // Uniform random initial weights in [0, 0.3], then normalized — the
-  // standard initialization for this architecture.
-  Rng rng(cfg.seed);
-  for (float& w : w_) w = static_cast<float>(rng.uniform(0.0, 0.3));
+  // standard initialization for this architecture. Stream discipline: the
+  // OUTPUT layer draws from Rng(seed) — exactly the legacy single-layer
+  // stream, so an empty hidden stack reproduces the pre-stack weights bit
+  // for bit — while hidden layer l draws from the independent substream
+  // Rng(hash_combine(seed, l + 1)).
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    Rng rng(l + 1 == n_layers ? cfg.seed : hash_combine(cfg.seed, l + 1));
+    for (float& w : layers_[l].w) w = static_cast<float>(rng.uniform(0.0, 0.3));
+  }
   normalize_rows();
   sync_transpose();
 }
 
 void Network::sync_transpose() {
-  if (wt_synced_) return;
-  const std::size_t ni = cfg_.n_inputs;
-  const std::size_t nn = cfg_.n_neurons;
-  for (std::size_t n = 0; n < nn; ++n) {
-    const float* row = w_.data() + n * ni;
-    for (std::size_t i = 0; i < ni; ++i) wt_[i * nn + n] = row[i];
+  for (Layer& lay : layers_) {
+    if (lay.wt_synced) continue;
+    for (std::size_t n = 0; n < lay.n_out; ++n) {
+      const float* row = lay.w.data() + n * lay.n_in;
+      for (std::size_t i = 0; i < lay.n_in; ++i)
+        lay.wt[i * lay.n_out + n] = row[i];
+    }
+    lay.wt_synced = true;
   }
-  wt_synced_ = true;
+}
+
+bool Network::transpose_synced() const noexcept {
+  for (const Layer& lay : layers_)
+    if (!lay.wt_synced) return false;
+  return true;
 }
 
 void Network::normalize_rows() {
-  const std::size_t ni = cfg_.n_inputs;
-  for (std::size_t n = 0; n < cfg_.n_neurons; ++n) {
-    float* row = w_.data() + n * ni;
-    float sum = 0.0f;
-    for (std::size_t i = 0; i < ni; ++i) sum += row[i];
-    if (sum <= 0.0f) continue;
-    const float scale = cfg_.norm_target / sum;
-    for (std::size_t i = 0; i < ni; ++i) row[i] *= scale;
+  for (Layer& lay : layers_) {
+    const std::size_t ni = lay.n_in;
+    for (std::size_t n = 0; n < lay.n_out; ++n) {
+      float* row = lay.w.data() + n * ni;
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < ni; ++i) sum += row[i];
+      if (sum <= 0.0f) continue;
+      const float scale = cfg_.norm_target / sum;
+      for (std::size_t i = 0; i < ni; ++i) row[i] *= scale;
+    }
+    lay.wt_synced = false;
   }
-  wt_synced_ = false;
 }
 
 void Network::reset_dynamics() {
-  lif_.reset_dynamics();
-  traces_.reset();
-  std::fill(current_.begin(), current_.end(), 0.0f);
+  for (Layer& lay : layers_) {
+    lay.lif.reset_dynamics();
+    lay.traces.reset();
+    std::fill(lay.current.begin(), lay.current.end(), 0.0f);
+  }
 }
 
 std::vector<std::uint32_t> Network::process(const std::vector<float>& image,
@@ -71,52 +103,62 @@ std::vector<std::uint32_t> Network::process(const std::vector<float>& image,
                   "image size must match n_inputs");
   if (!learn) sync_transpose();
   reset_dynamics();
-  lif_.set_plastic(learn);
+  for (Layer& lay : layers_) lay.lif.set_plastic(learn);
   encoder_.set_image(image);
 
-  const std::size_t ni = cfg_.n_inputs;
-  const std::size_t nn = cfg_.n_neurons;
-  std::vector<std::uint32_t> counts(nn, 0);
+  const std::size_t n_layers = layers_.size();
+  std::vector<std::uint32_t> counts(layers_.back().n_out, 0);
 
   for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
     encoder_.step(rng, in_spikes_);
-    if (learn) traces_.step(in_spikes_);
 
-    // Synaptic drive: per-neuron sum over this step's spiking inputs.
-    std::fill(current_.begin(), current_.end(), 0.0f);
-    if (!in_spikes_.empty()) {
-      if (learn) {
-        // Training reads the row-major array directly: STDP updates weight
-        // rows mid-sample and the next step's gather must see them.
-        for (std::size_t n = 0; n < nn; ++n) {
-          const float* row = w_.data() + n * ni;
-          float acc = 0.0f;
-          for (const auto i : in_spikes_) acc += row[i];
-          current_[n] = acc;
-        }
-      } else {
-        // Inference: spike-outer / neuron-inner over contiguous transposed
-        // columns. Per neuron the additions happen in the same spike order
-        // as the row-major walk, so the sums are bitwise identical.
-        float* cur = current_.data();
-        for (const auto i : in_spikes_) {
-          const float* col = wt_.data() + std::size_t{i} * nn;
-          for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+    // Feed the spike wave through the stack: layer l's output spikes are
+    // layer l+1's input spikes within the same timestep.
+    const std::vector<std::uint32_t>* spikes = &in_spikes_;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      Layer& lay = layers_[l];
+      if (learn) lay.traces.step(*spikes);
+
+      // Synaptic drive: per-neuron sum over this step's spiking inputs.
+      std::fill(lay.current.begin(), lay.current.end(), 0.0f);
+      if (!spikes->empty()) {
+        const std::size_t ni = lay.n_in;
+        const std::size_t nn = lay.n_out;
+        if (learn) {
+          // Training reads the row-major array directly: STDP updates
+          // weight rows mid-sample and the next step's gather must see them.
+          for (std::size_t n = 0; n < nn; ++n) {
+            const float* row = lay.w.data() + n * ni;
+            float acc = 0.0f;
+            for (const auto i : *spikes) acc += row[i];
+            lay.current[n] = acc;
+          }
+        } else {
+          // Inference: spike-outer / neuron-inner over contiguous
+          // transposed columns. Per neuron the additions happen in the same
+          // spike order as the row-major walk, so the sums are bitwise
+          // identical.
+          float* cur = lay.current.data();
+          for (const auto i : *spikes) {
+            const float* col = lay.wt.data() + std::size_t{i} * nn;
+            for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+          }
         }
       }
-    }
 
-    lif_.step(current_, out_spikes_);
-    for (const auto s : out_spikes_) {
-      ++counts[s];
-      if (learn)
-        stdp_post_update(w_.data() + static_cast<std::size_t>(s) * ni, ni,
-                         traces_.values(), cfg_.stdp);
+      lay.lif.step(lay.current, lay.out_spikes);
+      for (const auto s : lay.out_spikes) {
+        if (l + 1 == n_layers) ++counts[s];
+        if (learn)
+          stdp_post_update(lay.w.data() + static_cast<std::size_t>(s) * lay.n_in,
+                           lay.n_in, lay.traces.values(), cfg_.stdp);
+      }
+      spikes = &lay.out_spikes;
     }
   }
 
   if (learn) {
-    normalize_rows();  // also marks the transpose stale
+    normalize_rows();  // also marks the transposes stale
   }
   return counts;
 }
@@ -126,28 +168,40 @@ std::vector<std::uint32_t> Network::infer(InferenceState& state,
                                           Rng& rng) const {
   SPARKXD_REQUIRE(image.size() == cfg_.n_inputs,
                   "image size must match n_inputs");
-  SPARKXD_REQUIRE(wt_synced_,
-                  "infer needs a synced transpose — call sync_transpose()");
-  SPARKXD_REQUIRE(state.current_.size() == cfg_.n_neurons,
-                  "InferenceState was built for a different network size");
-  state.lif_.reset_dynamics();
+  SPARKXD_REQUIRE(transpose_synced(),
+                  "infer needs synced transposes — call sync_transpose()");
+  SPARKXD_REQUIRE(state.layers_.size() == layers_.size(),
+                  "InferenceState was built for a different network depth");
+  const std::size_t n_layers = layers_.size();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    SPARKXD_REQUIRE(state.layers_[l].current.size() == layers_[l].n_out,
+                    "InferenceState was built for a different network size");
+    state.layers_[l].lif.reset_dynamics();
+  }
   state.encoder_.set_image(image);
 
-  const std::size_t nn = cfg_.n_neurons;
-  std::vector<std::uint32_t> counts(nn, 0);
+  std::vector<std::uint32_t> counts(layers_.back().n_out, 0);
 
   for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
     state.encoder_.step(rng, state.in_spikes_);
-    std::fill(state.current_.begin(), state.current_.end(), 0.0f);
-    if (!state.in_spikes_.empty()) {
-      float* cur = state.current_.data();
-      for (const auto i : state.in_spikes_) {
-        const float* col = wt_.data() + std::size_t{i} * nn;
-        for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+    const std::vector<std::uint32_t>* spikes = &state.in_spikes_;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const Layer& lay = layers_[l];
+      auto& slice = state.layers_[l];
+      std::fill(slice.current.begin(), slice.current.end(), 0.0f);
+      if (!spikes->empty()) {
+        const std::size_t nn = lay.n_out;
+        float* cur = slice.current.data();
+        for (const auto i : *spikes) {
+          const float* col = lay.wt.data() + std::size_t{i} * nn;
+          for (std::size_t n = 0; n < nn; ++n) cur[n] += col[n];
+        }
       }
+      slice.lif.step(slice.current, slice.out_spikes);
+      if (l + 1 == n_layers)
+        for (const auto s : slice.out_spikes) ++counts[s];
+      spikes = &slice.out_spikes;
     }
-    state.lif_.step(state.current_, state.out_spikes_);
-    for (const auto s : state.out_spikes_) ++counts[s];
   }
   return counts;
 }

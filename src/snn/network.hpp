@@ -1,18 +1,27 @@
 #pragma once
-// The fully-connected unsupervised SNN of the paper's Fig. 4a: rate-coded
-// Poisson input -> excitatory LIF layer with lateral inhibition, trained
-// with STDP. Synaptic weights are stored as FP32 row-major [neuron][input] —
-// the exact array the approximate-DRAM error injector corrupts.
+// The fully-connected unsupervised SNN of the paper's Fig. 4a — generalized
+// from the single excitatory layer to a layer STACK: rate-coded Poisson
+// input -> zero or more spiking LIF hidden layers -> the excitatory LIF
+// output layer, every layer trained with STDP and laterally inhibited.
+// Synaptic weights are stored per layer as FP32 row-major [neuron][input] —
+// exactly the per-layer arrays the approximate-DRAM error injector corrupts
+// and the error-aware mapping places independently (per-layer BER_th, the
+// EnforceSNN/EDEN structure).
 //
-// Inference additionally maintains a TRANSPOSED copy of the weights
-// ([input][neuron]): the per-timestep synaptic gather then runs
+// Inference additionally maintains a TRANSPOSED copy of each layer's
+// weights ([input][neuron]): the per-timestep synaptic gather then runs
 // spike-outer / neuron-inner over contiguous memory, which vectorizes and
 // breaks the per-neuron serial addition chain of the row-major walk. The
 // per-neuron addition *sequence* is unchanged (same spikes, same order), so
 // inference results are bitwise identical to the row-major kernel — the
-// golden digests lock this down. Training keeps reading the row-major array
-// directly (STDP updates rows mid-sample), so the transpose is resynced
-// lazily before the next inference.
+// golden digests lock this down. Training keeps reading the row-major
+// arrays directly (STDP updates rows mid-sample), so the transposes are
+// resynced lazily before the next inference.
+//
+// Bit-exactness contract: a NetworkConfig with empty `hidden_neurons` is
+// the legacy single-layer network — same weight-init stream (Rng(seed)),
+// same per-timestep arithmetic, same Rng consumption — so every
+// pre-layer-stack result stays byte-identical.
 
 #include <cstdint>
 #include <vector>
@@ -27,43 +36,55 @@ namespace sparkxd::snn {
 
 class Network;
 
-/// Per-worker mutable inference state over a shared const Network: the LIF
-/// dynamics (a copy of the layer: potentials, refractory counters and the
-/// frozen adaptive thresholds), the Poisson encoder, and the scratch
-/// buffers — but NOT the weights, which are read from the network's
-/// transposed layout. Constructing one is O(n_neurons); a full Network copy
-/// is O(n_neurons * n_inputs). This is what lets evaluation workers fan out
-/// (and Monte-Carlo trials repeat) without copying the weight matrix.
+/// Per-worker mutable inference state over a shared const Network: per
+/// layer, the LIF dynamics (a copy of the layer: potentials, refractory
+/// counters and the frozen adaptive thresholds) and the scratch buffers,
+/// plus the Poisson encoder — but NOT the weights, which are read from the
+/// network's transposed layouts. Constructing one is O(sum of layer
+/// neurons); a full Network copy is O(total weights). This is what lets
+/// evaluation workers fan out (and Monte-Carlo trials repeat) without
+/// copying the weight matrices.
 class InferenceState {
  public:
   explicit InferenceState(const Network& net);
 
  private:
   friend class Network;
-  LifLayer lif_;
+  /// One slice per layer of the stack (index matches Network layers).
+  struct LayerSlice {
+    LifLayer lif;
+    std::vector<float> current;
+    std::vector<std::uint32_t> out_spikes;
+  };
+  std::vector<LayerSlice> layers_;
   PoissonEncoder encoder_;
-  std::vector<float> current_;
   std::vector<std::uint32_t> in_spikes_;
-  std::vector<std::uint32_t> out_spikes_;
 };
 
-/// A complete network instance (weights + neuron state + encoder).
+/// A complete network instance (per-layer weights + neuron state + encoder).
 class Network {
  public:
   explicit Network(const NetworkConfig& cfg);
 
   [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
-
-  /// The synaptic weight matrix, row-major [n_neurons][n_inputs]. Mutable
-  /// access exists so the error injector can corrupt the stored bits and the
-  /// fault-aware trainer can restore snapshots; it invalidates the
-  /// transposed inference copy, which is rebuilt before the next inference.
-  [[nodiscard]] const std::vector<float>& weights() const noexcept {
-    return w_;
+  [[nodiscard]] std::size_t n_layers() const noexcept {
+    return layers_.size();
   }
-  [[nodiscard]] std::vector<float>& weights_mut() noexcept {
-    wt_synced_ = false;
-    return w_;
+
+  // ---- Per-layer weight access (layer 0 = input side). -----------------
+
+  /// Layer `l`'s synaptic weight matrix, row-major
+  /// [layer_neurons(l)][layer_inputs(l)]. Mutable access exists so the
+  /// error injector can corrupt the stored bits and the fault-aware trainer
+  /// can restore snapshots; it invalidates that layer's transposed
+  /// inference copy, which is rebuilt before the next inference.
+  [[nodiscard]] const std::vector<float>& weights(std::size_t l) const {
+    return layer(l).w;
+  }
+  [[nodiscard]] std::vector<float>& weights_mut(std::size_t l) {
+    Layer& lay = layer(l);
+    lay.wt_synced = false;
+    return lay.w;
   }
 
   /// Hot-path mutable access for DELTA fault injection: unlike
@@ -72,60 +93,91 @@ class Network {
   /// inference — error::WeightFlip logs carry exactly those words. Requires
   /// a synced transpose (sync_transpose() first), so the invariant "both
   /// layouts agree except at the words the caller is about to mirror" holds.
-  [[nodiscard]] std::vector<float>& weights_delta() {
-    SPARKXD_REQUIRE(wt_synced_,
+  [[nodiscard]] std::vector<float>& weights_delta(std::size_t l) {
+    Layer& lay = layer(l);
+    SPARKXD_REQUIRE(lay.wt_synced,
                     "weights_delta needs a synced transpose — call "
                     "sync_transpose() first (or use weights_mut())");
-    return w_;
+    return lay.w;
   }
 
-  /// Copies the current value of flat weight `idx` into the transposed
-  /// layout (companion of weights_delta()).
-  void mirror_weight(std::size_t idx) noexcept {
-    const std::size_t n = idx / cfg_.n_inputs;
-    const std::size_t i = idx % cfg_.n_inputs;
-    wt_[i * cfg_.n_neurons + n] = w_[idx];
+  /// Copies the current value of layer `l`'s flat weight `idx` into the
+  /// transposed layout (companion of weights_delta()).
+  void mirror_weight(std::size_t l, std::size_t idx) {
+    Layer& lay = layer(l);
+    const std::size_t n = idx / lay.n_in;
+    const std::size_t i = idx % lay.n_in;
+    lay.wt[i * lay.n_out + n] = lay.w[idx];
   }
 
-  /// Rebuilds the transposed weight copy from the row-major array if any
-  /// weights_mut()/normalize/training mutation happened since the last sync.
-  void sync_transpose();
-  [[nodiscard]] bool transpose_synced() const noexcept { return wt_synced_; }
-
-  /// The transposed weights [n_inputs][n_neurons]; requires a synced
+  /// Layer `l`'s transposed weights [input][neuron]; requires a synced
   /// transpose. Read-only — the row-major array stays canonical.
+  [[nodiscard]] const std::vector<float>& weights_T(std::size_t l) const {
+    const Layer& lay = layer(l);
+    SPARKXD_REQUIRE(lay.wt_synced, "transposed weights are stale — call "
+                                   "sync_transpose() first");
+    return lay.wt;
+  }
+
+  /// Layer `l`'s adaptive thresholds (exposed for snapshot/restore
+  /// alongside the weights).
+  [[nodiscard]] const std::vector<float>& thetas(std::size_t l) const {
+    return layer(l).lif.thetas();
+  }
+  [[nodiscard]] std::vector<float>& thetas_mut(std::size_t l) {
+    return layer(l).lif.thetas_mut();
+  }
+
+  // ---- Legacy single-layer aliases. ------------------------------------
+  // The pre-stack API addressed THE layer; these forward to layer 0 and
+  // require a single-layer stack so deep-network callers are forced to name
+  // the layer explicitly instead of silently touching only one of them.
+
+  [[nodiscard]] const std::vector<float>& weights() const {
+    return weights(only_layer());
+  }
+  [[nodiscard]] std::vector<float>& weights_mut() {
+    return weights_mut(only_layer());
+  }
+  [[nodiscard]] std::vector<float>& weights_delta() {
+    return weights_delta(only_layer());
+  }
+  void mirror_weight(std::size_t idx) { mirror_weight(only_layer(), idx); }
   [[nodiscard]] const std::vector<float>& weights_T() const {
-    SPARKXD_REQUIRE(wt_synced_, "transposed weights are stale — call "
-                                "sync_transpose() first");
-    return wt_;
+    return weights_T(only_layer());
+  }
+  [[nodiscard]] const std::vector<float>& thetas() const {
+    return thetas(only_layer());
+  }
+  [[nodiscard]] std::vector<float>& thetas_mut() {
+    return thetas_mut(only_layer());
   }
 
-  /// Adaptive thresholds (exposed for snapshot/restore alongside weights).
-  [[nodiscard]] const std::vector<float>& thetas() const noexcept {
-    return lif_.thetas();
-  }
-  [[nodiscard]] std::vector<float>& thetas_mut() noexcept {
-    return lif_.thetas_mut();
-  }
+  /// Rebuilds every stale transposed weight copy from its row-major array.
+  void sync_transpose();
+  /// True when every layer's transposed copy is in sync.
+  [[nodiscard]] bool transpose_synced() const noexcept;
 
-  /// Presents one image for config().timesteps steps and returns per-neuron
-  /// spike counts. With learn=true, STDP and threshold adaptation are active
-  /// and the weight rows are re-normalized afterwards; with learn=false the
-  /// network is a pure inference engine (weights and thetas untouched).
-  /// `rng` drives the Poisson spike trains.
+  /// Presents one image for config().timesteps steps and returns the OUTPUT
+  /// layer's per-neuron spike counts. With learn=true, STDP and threshold
+  /// adaptation are active on every layer and all weight rows are
+  /// re-normalized afterwards; with learn=false the network is a pure
+  /// inference engine (weights and thetas untouched). `rng` drives the
+  /// Poisson spike trains (the only stochastic part — hidden layers are
+  /// deterministic given their input spikes).
   std::vector<std::uint32_t> process(const std::vector<float>& image,
                                      bool learn, Rng& rng);
 
   /// Pure inference through a caller-owned InferenceState: identical spike
   /// counts and Rng consumption as process(image, /*learn=*/false, rng), but
   /// const on the network and reusing the state's buffers — the per-trial /
-  /// per-worker hot path. Requires a synced transpose.
+  /// per-worker hot path. Requires synced transposes.
   std::vector<std::uint32_t> infer(InferenceState& state,
                                    const std::vector<float>& image,
                                    Rng& rng) const;
 
-  /// Rescales every neuron's incoming weights to sum to norm_target
-  /// (no-op for all-zero rows).
+  /// Rescales every neuron's incoming weights (every layer) to sum to
+  /// norm_target (no-op for all-zero rows).
   void normalize_rows();
 
   /// Resets membrane dynamics (called automatically between samples).
@@ -134,17 +186,42 @@ class Network {
  private:
   friend class InferenceState;
 
+  /// One layer of the stack: weights in both layouts plus neuron state.
+  struct Layer {
+    std::size_t n_in = 0;
+    std::size_t n_out = 0;
+    std::vector<float> w;   ///< canonical row-major [neuron][input]
+    std::vector<float> wt;  ///< transposed [input][neuron], inference kernel
+    bool wt_synced = false;
+    LifLayer lif;
+    PreTraces traces;
+    // Reused scratch buffers.
+    std::vector<float> current;
+    std::vector<std::uint32_t> out_spikes;
+
+    Layer(std::size_t n_in, std::size_t n_out, const NetworkConfig& cfg);
+  };
+
+  [[nodiscard]] Layer& layer(std::size_t l) {
+    SPARKXD_REQUIRE(l < layers_.size(), "layer index out of range");
+    return layers_[l];
+  }
+  [[nodiscard]] const Layer& layer(std::size_t l) const {
+    SPARKXD_REQUIRE(l < layers_.size(), "layer index out of range");
+    return layers_[l];
+  }
+  /// Index of the only layer; throws for deep stacks (legacy-alias guard).
+  [[nodiscard]] std::size_t only_layer() const {
+    SPARKXD_REQUIRE(layers_.size() == 1,
+                    "this accessor addresses THE layer of a single-layer "
+                    "network — a deep stack needs an explicit layer index");
+    return 0;
+  }
+
   NetworkConfig cfg_;
-  std::vector<float> w_;    ///< canonical row-major [neuron][input]
-  std::vector<float> wt_;   ///< transposed [input][neuron], inference kernel
-  bool wt_synced_ = false;
-  LifLayer lif_;
-  PreTraces traces_;
+  std::vector<Layer> layers_;  ///< [0] = input side, back() = output layer
   PoissonEncoder encoder_;
-  // Reused scratch buffers.
-  std::vector<float> current_;
-  std::vector<std::uint32_t> in_spikes_;
-  std::vector<std::uint32_t> out_spikes_;
+  std::vector<std::uint32_t> in_spikes_;  ///< reused input-spike scratch
 };
 
 }  // namespace sparkxd::snn

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace sparkxd::snn {
 
@@ -67,9 +68,23 @@ struct StdpParams {
 };
 
 /// Full network configuration.
+///
+/// By default the network is the paper's single excitatory layer
+/// (n_inputs -> n_neurons). `hidden_neurons` generalizes it to a layer
+/// STACK: each entry inserts one spiking LIF hidden layer between the input
+/// and the excitatory output layer, so the stack is
+///     n_inputs -> hidden_neurons[0] -> ... -> n_neurons.
+/// Every layer keeps its own synaptic weight matrix (the per-layer arrays
+/// the approximate-DRAM machinery corrupts and maps independently — the
+/// per-layer error tolerance EnforceSNN/EDEN exploit). An empty
+/// `hidden_neurons` reproduces the legacy single-layer network bit for bit.
 struct NetworkConfig {
   std::size_t n_inputs = 784;   ///< pixels
-  std::size_t n_neurons = 400;  ///< excitatory neurons (paper: 400..3600)
+  std::size_t n_neurons = 400;  ///< excitatory OUTPUT neurons (paper:
+                                ///< 400..3600); the last layer of the stack
+  /// Sizes of the spiking hidden layers, input side first; empty = the
+  /// legacy single-layer network.
+  std::vector<std::size_t> hidden_neurons;
   std::size_t timesteps = 60;   ///< simulation steps per sample
   float dt_ms = 1.0f;           ///< timestep width
   /// Poisson rate coding: spike probability per step for a full-intensity
@@ -82,6 +97,30 @@ struct NetworkConfig {
   std::uint64_t seed = 1;  ///< weight-init / spike-train seed
   LifParams lif;
   StdpParams stdp;
+
+  // ---- Layer-stack geometry helpers (layer 0 = input side, layer
+  // n_layers()-1 = the excitatory output layer). -------------------------
+  [[nodiscard]] std::size_t n_layers() const noexcept {
+    return hidden_neurons.size() + 1;
+  }
+  /// Fan-in of layer `l`.
+  [[nodiscard]] std::size_t layer_inputs(std::size_t l) const noexcept {
+    return l == 0 ? n_inputs : hidden_neurons[l - 1];
+  }
+  /// Neuron count of layer `l`.
+  [[nodiscard]] std::size_t layer_neurons(std::size_t l) const noexcept {
+    return l == hidden_neurons.size() ? n_neurons : hidden_neurons[l];
+  }
+  /// Synapse (FP32 weight) count of layer `l`.
+  [[nodiscard]] std::size_t layer_weight_count(std::size_t l) const noexcept {
+    return layer_inputs(l) * layer_neurons(l);
+  }
+  /// Synapse count over the whole stack.
+  [[nodiscard]] std::size_t total_weights() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t l = 0; l < n_layers(); ++l) n += layer_weight_count(l);
+    return n;
+  }
 };
 
 }  // namespace sparkxd::snn

@@ -337,6 +337,135 @@ TEST(PipelineConfig_, ValidateRejectsEmptyData) {
   EXPECT_THROW(no_test.validate(), ContractViolation);
 }
 
+TEST_F(FaultAwareFixture, SingleInjectorOverloadEqualsOneElementLayerList) {
+  // The legacy single-injector API is defined as the one-element
+  // LayerInjectors case (the stream discipline makes them bit-identical).
+  Rng a(31), b(31);
+  const double legacy =
+      evaluate_corrupted(state->baseline->net, state->baseline->labels,
+                         *state->injector, 1e-3, state->test, a, 2);
+  const double multi = evaluate_corrupted(
+      state->baseline->net, state->baseline->labels,
+      LayerInjectors{state->injector.get()}, 1e-3, state->test, b, 2);
+  EXPECT_EQ(legacy, multi);
+}
+
+TEST_F(FaultAwareFixture, LayerInjectorsSizeMustMatchDepth) {
+  Rng rng(32);
+  EXPECT_THROW((void)evaluate_corrupted(
+                   state->baseline->net, state->baseline->labels,
+                   LayerInjectors{state->injector.get(),
+                                  state->injector.get()},
+                   1e-3, state->test, rng),
+               ContractViolation);
+}
+
+// -------------------------------------------------------------- deep stacks
+
+/// Shared expensive fixture for the layer-stack pipeline: one 2-layer
+/// end-to-end run, reused by all deep-pipeline assertions below.
+class DeepPipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg = new PipelineConfig();
+    cfg->network.n_neurons = 25;
+    cfg->network.hidden_neurons = {48};
+    cfg->network.seed = 42;
+    cfg->train_samples = 100;
+    cfg->test_samples = 50;
+    cfg->baseline_epochs = 1;
+    cfg->fault_training.ber_stages = {1e-5, 1e-3};
+    cfg->fault_training.eval_trials = 2;
+    cfg->voltages = {1.250, 1.100, 1.025};
+    report = new PipelineReport(run_pipeline(*cfg));
+  }
+  static void TearDownTestSuite() {
+    delete report;
+    delete cfg;
+    report = nullptr;
+    cfg = nullptr;
+  }
+  static PipelineConfig* cfg;
+  static PipelineReport* report;
+};
+
+PipelineConfig* DeepPipelineFixture::cfg = nullptr;
+PipelineReport* DeepPipelineFixture::report = nullptr;
+
+TEST_F(DeepPipelineFixture, RunsEndToEndWithPerLayerTolerance) {
+  const auto& r = *report;
+  EXPECT_GT(r.baseline_accuracy, 0.2);
+  ASSERT_EQ(r.layer_ber_th.size(), 2u);
+  ASSERT_EQ(r.layer_met_target.size(), 2u);
+  ASSERT_EQ(r.layer_curves.size(), 2u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    // Per-layer curves cover every configured BER stage, in order.
+    ASSERT_EQ(r.layer_curves[l].size(),
+              cfg->fault_training.ber_stages.size());
+    for (std::size_t i = 0; i < r.layer_curves[l].size(); ++i)
+      EXPECT_EQ(r.layer_curves[l][i].ber,
+                cfg->fault_training.ber_stages[i]);
+    // A met per-layer threshold is one of the analyzed stages.
+    if (r.layer_met_target[l]) {
+      bool found = false;
+      for (const double s : cfg->fault_training.ber_stages)
+        found |= s == r.layer_ber_th[l];
+      EXPECT_TRUE(found);
+    } else {
+      EXPECT_EQ(r.layer_ber_th[l], 0.0);
+    }
+    // Corrupting ONE layer can never be harder to tolerate than corrupting
+    // all of them: the per-layer threshold dominates the global one.
+    if (r.met_target && r.layer_met_target[l]) {
+      EXPECT_GE(r.layer_ber_th[l], r.ber_th);
+    }
+  }
+}
+
+TEST_F(DeepPipelineFixture, PerVoltageRowsCarryPerLayerPlacementStats) {
+  for (const auto& v : report->per_voltage) {
+    ASSERT_EQ(v.layers.size(), 2u);
+    double energy = 0.0;
+    std::uint64_t refreshes = 0;
+    for (std::size_t l = 0; l < v.layers.size(); ++l) {
+      const auto& ls = v.layers[l];
+      EXPECT_GT(ls.chunks, 0u);
+      EXPECT_GT(ls.safe_subarrays, 0u);
+      EXPECT_GT(ls.energy_nj, 0.0);
+      EXPECT_GT(ls.row_hit_rate, 0.9);
+      energy += ls.energy_nj;
+      refreshes += ls.refreshes;
+    }
+    // Layer 0 (784x48) holds far more weights than layer 1 (48x25).
+    EXPECT_GT(v.layers[0].chunks, v.layers[1].chunks);
+    // Aggregates are the sums of the per-layer slices.
+    EXPECT_DOUBLE_EQ(v.energy_nj, energy);
+    EXPECT_EQ(v.refreshes, refreshes);
+    EXPECT_GT(v.saving_pct, 0.0);
+    EXPECT_GE(v.speedup, 0.99);
+  }
+}
+
+TEST_F(DeepPipelineFixture, SingleLayerReportsKeepLegacyShape) {
+  // The flat pipeline must not pay for (or report) the per-layer analysis:
+  // its vector is exactly {ber_th} and no curves are recorded.
+  PipelineConfig flat = *cfg;
+  flat.network.hidden_neurons.clear();
+  const auto r = run_pipeline(flat);
+  ASSERT_EQ(r.layer_ber_th.size(), 1u);
+  EXPECT_EQ(r.layer_ber_th[0], r.met_target ? r.ber_th : 0.0);
+  ASSERT_EQ(r.layer_met_target.size(), 1u);
+  EXPECT_EQ(r.layer_met_target[0], r.met_target);
+  EXPECT_TRUE(r.layer_curves.empty());
+  ASSERT_FALSE(r.per_voltage.empty());
+  for (const auto& v : r.per_voltage) {
+    ASSERT_EQ(v.layers.size(), 1u);
+    EXPECT_DOUBLE_EQ(v.layers[0].energy_nj, v.energy_nj);
+    EXPECT_EQ(v.layers[0].safe_subarrays, v.safe_subarrays);
+    EXPECT_EQ(v.layers[0].capacity_relaxed, v.capacity_relaxed);
+  }
+}
+
 TEST(Pipeline, SalpIsNeverSlowerOrHungrierThanCommodity) {
   // SALP only removes PRE/ACT work from the SparkXD mapping's trace, so at
   // every voltage it can only save energy and time; accuracy is untouched

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/contracts.hpp"
@@ -209,6 +210,144 @@ TEST(TraceGen, RejectsUndersizedPlacementAndZeroPasses) {
   const auto p = baseline_placement(g, 64);
   EXPECT_THROW(streaming_read_trace(g, p, 1000), ContractViolation);
   EXPECT_THROW(streaming_read_trace(g, p, 64, 0), ContractViolation);
+}
+
+// ------------------------------------------------- multi-layer placements
+
+TEST(MultiLayer, BaselineLayersSliceTheLinearWalk) {
+  const auto g = geom();
+  const std::vector<std::size_t> layer_weights{784 * 48, 48 * 25};
+  const auto per_layer = baseline_placement_layers(g, layer_weights);
+  ASSERT_EQ(per_layer.size(), 2u);
+  // Each layer covers its own weights in whole chunks...
+  for (std::size_t l = 0; l < 2; ++l)
+    EXPECT_EQ(per_layer[l].size(), chunks_for_weights(g, layer_weights[l]));
+  // ...layer 0 is exactly the single-layer baseline placement...
+  const auto flat = baseline_placement(g, layer_weights[0]);
+  ASSERT_EQ(per_layer[0].size(), flat.size());
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    EXPECT_EQ(per_layer[0][i], flat[i]);
+  // ...and layer 1 continues at the next subsequent address.
+  EXPECT_EQ(key(g, per_layer[1].front()),
+            key(g, per_layer[0].back()) + g.burst_bytes());
+}
+
+TEST(MultiLayer, SingleLayerSparkXdMatchesLegacyChunkForChunk) {
+  const auto g = geom();
+  const error::SubarrayProfile profile(g, 42);
+  const std::size_t n_weights = 784 * 400;
+  const auto legacy = sparkxd_placement(g, profile, 1e-3, 1e-3, n_weights);
+  const auto multi =
+      sparkxd_placement_layers(g, profile, 1e-3, {1e-3}, {n_weights});
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(multi[0].ber_th, 1e-3);
+  EXPECT_FALSE(multi[0].capacity_relaxed);
+  EXPECT_EQ(multi[0].safe_subarrays, legacy.safe_subarrays);
+  EXPECT_EQ(multi[0].unsafe_subarrays, legacy.unsafe_subarrays);
+  ASSERT_EQ(multi[0].chunks.size(), legacy.chunks.size());
+  for (std::size_t i = 0; i < legacy.chunks.size(); ++i)
+    EXPECT_EQ(multi[0].chunks[i], legacy.chunks[i]);
+}
+
+TEST(MultiLayer, RelaxesPerLayerThresholdWhenCapacityRunsOut) {
+  const auto g = geom();
+  const error::SubarrayProfile profile(g, 42);
+  // A threshold far below every subarray's rate fits nothing; the placement
+  // must relax it (module_ber/8, then doubling) instead of throwing.
+  const auto multi =
+      sparkxd_placement_layers(g, profile, 1e-3, {1e-9}, {784 * 25});
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_TRUE(multi[0].capacity_relaxed);
+  EXPECT_GT(multi[0].ber_th, 1e-9);
+  EXPECT_EQ(multi[0].chunks.size(), chunks_for_weights(g, 784 * 25));
+}
+
+TEST(MultiLayer, ThrowsWhenModuleCannotHoldTheStack) {
+  auto g = geom();
+  g.banks_per_chip = 1;
+  g.subarrays_per_bank = 2;
+  g.rows_per_subarray = 2;
+  const error::SubarrayProfile profile(g, 42);
+  EXPECT_THROW(
+      (void)sparkxd_placement_layers(g, profile, 1e-3, {1e-3, 1e-3},
+                                     {100000, 100000}),
+      ContractViolation);
+  // One threshold per layer is mandatory.
+  EXPECT_THROW((void)sparkxd_placement_layers(g, profile, 1e-3, {1e-3},
+                                              {100, 100}),
+               ContractViolation);
+}
+
+/// Property/fuzz sweep: across randomized geometries, operating BERs,
+/// profile spreads (sigma), and 1-3 layer stacks, the per-layer placement
+/// must (a) never put a chunk into a subarray unsafe at that layer's final
+/// threshold, (b) produce pairwise-disjoint, in-bounds, burst-aligned
+/// chunks within AND across layers, and (c) report occupancy diagnostics
+/// that tile the module and match the profile's own safe count.
+TEST(MultiLayerProperty, RandomizedGeometriesBersAndSigmas) {
+  Rng rng(0xf00d);
+  for (std::size_t iter = 0; iter < 25; ++iter) {
+    dram::Geometry g;
+    g.banks_per_chip = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+    g.subarrays_per_bank = static_cast<std::uint32_t>(rng.uniform_int(2, 16));
+    g.rows_per_subarray = static_cast<std::uint32_t>(rng.uniform_int(4, 64));
+    g.columns_per_row = 8u << rng.uniform_int(0, 3);  // 8..64 words
+    const double sigma = rng.uniform(0.2, 1.5);
+    const double module_ber = std::pow(10.0, rng.uniform(-7.0, -3.0));
+    const error::SubarrayProfile profile(g, rng.next_u64(), sigma);
+
+    const std::size_t n_layers = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    std::vector<std::size_t> layer_weights(n_layers);
+    std::vector<double> thresholds(n_layers);
+    // Capacity headroom: keep the stack well under the module size so the
+    // relax loop terminates by relaxing rather than exhausting the module.
+    const std::size_t module_words =
+        static_cast<std::size_t>(g.total_bytes() / sizeof(float));
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      layer_weights[l] = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(
+                                 module_words / (4 * n_layers))));
+      // Thresholds from "nothing safe" to "everything safe".
+      thresholds[l] = std::pow(10.0, rng.uniform(-9.0, -1.0));
+    }
+
+    const auto multi = sparkxd_placement_layers(g, profile, module_ber,
+                                                thresholds, layer_weights);
+    ASSERT_EQ(multi.size(), n_layers);
+    std::set<std::uint64_t> all_keys;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const auto& lp = multi[l];
+      EXPECT_EQ(lp.chunks.size(), chunks_for_weights(g, layer_weights[l]));
+      // Occupancy diagnostics tile the module and match the profile.
+      EXPECT_EQ(lp.safe_subarrays + lp.unsafe_subarrays, g.total_subarrays());
+      EXPECT_EQ(lp.safe_subarrays, profile.count_safe(module_ber, lp.ber_th));
+      // Relaxation only ever loosens the caller's threshold.
+      EXPECT_GE(lp.ber_th, thresholds[l]);
+      if (!lp.capacity_relaxed) {
+        EXPECT_EQ(lp.ber_th, thresholds[l]);
+      }
+      for (const auto& a : lp.chunks) {
+        // In bounds + burst-aligned.
+        ASSERT_NO_THROW(dram::check_address(g, a));
+        EXPECT_EQ(a.column % g.burst_columns, 0u);
+        // Never in a subarray unsafe at this layer's final threshold.
+        EXPECT_LE(profile.rate(dram::subarray_id(g, a), module_ber),
+                  lp.ber_th);
+        // Disjoint within and across layers.
+        EXPECT_TRUE(all_keys.insert(key(g, a)).second)
+            << "overlapping chunks at iter " << iter;
+      }
+    }
+
+    // The baseline split obeys the same disjointness/bounds contract.
+    const auto base = baseline_placement_layers(g, layer_weights);
+    std::set<std::uint64_t> base_keys;
+    for (const auto& layer : base)
+      for (const auto& a : layer) {
+        ASSERT_NO_THROW(dram::check_address(g, a));
+        EXPECT_TRUE(base_keys.insert(key(g, a)).second);
+      }
+  }
 }
 
 class WeightCounts : public ::testing::TestWithParam<std::size_t> {};

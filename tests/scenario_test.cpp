@@ -152,8 +152,41 @@ TEST(Registry, FindAndMatch) {
   EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
   const auto smoke = match_scenarios("smoke");
-  EXPECT_EQ(smoke.size(), 4u);
+  EXPECT_EQ(smoke.size(), 5u);
   EXPECT_TRUE(match_scenarios("zzz").empty());
+}
+
+TEST(Registry, CoversTheLayerStackAxis) {
+  // The deep grid contributes 2- and 3-layer stacks on both tasks plus a
+  // SALP point and the golden-locked smoke; pre-existing cells stay flat.
+  std::size_t flat = 0, deep2 = 0, deep3 = 0;
+  for (const auto& s : builtin_scenarios()) {
+    switch (s.hidden_neurons.size()) {
+      case 0: ++flat; break;
+      case 1: ++deep2; break;
+      default: ++deep3; break;
+    }
+  }
+  EXPECT_GE(flat, 10u);
+  EXPECT_GE(deep2, 3u);
+  EXPECT_GE(deep3, 2u);
+  EXPECT_FALSE(match_scenarios("deep2").empty());
+  EXPECT_FALSE(match_scenarios("deep3").empty());
+  ASSERT_NE(find_scenario("digits-small-salp-m0-deep2"), nullptr);
+}
+
+TEST(Scenario, LoweringCarriesTheLayerStack) {
+  const auto* deep = find_scenario("smoke-digits-deep");
+  ASSERT_NE(deep, nullptr);
+  ASSERT_EQ(deep->hidden_neurons.size(), 1u);
+  const auto cfg = deep->pipeline_config();
+  EXPECT_EQ(cfg.network.hidden_neurons, deep->hidden_neurons);
+  EXPECT_EQ(cfg.network.n_layers(), 2u);
+
+  // Flat scenarios lower to the legacy single-layer network.
+  const auto flat_cfg = find_scenario("smoke-digits-m0")->pipeline_config();
+  EXPECT_TRUE(flat_cfg.network.hidden_neurons.empty());
+  EXPECT_EQ(flat_cfg.network.n_layers(), 1u);
 }
 
 TEST(Registry, CoversTheRefreshAxis) {
@@ -358,7 +391,76 @@ TEST_P(ThreadInvariance, JsonAndDigestAreThreadCountInvariant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldenScenarios, ThreadInvariance,
-                         ::testing::Values(0u, 1u, 2u, 3u));
+                         ::testing::Range<std::size_t>(0u, kGoldenCount));
+
+class BatchVsSolo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchVsSolo, BatchRunIsByteIdenticalToSoloPipelineRuns) {
+  // Differential determinism: run_scenarios on a BATCH must produce exactly
+  // the results of running each scenario alone through core::run_pipeline —
+  // each scenario is fully self-seeded, so batch fan-out, worker
+  // scheduling, and neighbouring scenarios must not leak into any result.
+  // Checked at 1 and 8 threads via byte-equal JSON and digests.
+  const ThreadsOverride threads(GetParam());
+  const auto* a = find_scenario("smoke-digits-m0");
+  const auto* b = find_scenario("smoke-digits-deep");
+  const auto* c = find_scenario("smoke-fashion-salp-m1-refresh");
+  ASSERT_TRUE(a != nullptr && b != nullptr && c != nullptr);
+  const std::vector<Scenario> batch_in{*a, *b, *c};
+
+  const auto batch = run_scenarios(batch_in);
+  ASSERT_EQ(batch.size(), batch_in.size());
+  for (std::size_t i = 0; i < batch_in.size(); ++i) {
+    ScenarioResult solo;
+    solo.scenario = batch_in[i];
+    solo.report = core::run_pipeline(batch_in[i].pipeline_config());
+    EXPECT_EQ(digest(batch[i]), digest(solo)) << batch_in[i].name;
+    EXPECT_EQ(to_json({batch[i]}), to_json({solo})) << batch_in[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BatchVsSolo,
+                         ::testing::Values("1", "8"));
+
+TEST(Runner, DigestEmitsLayerFieldsOnlyForDeepScenarios) {
+  // Flat digests must not change shape (the checked-in goldens depend on
+  // it); deep scenarios gain the layers=, layerN and per-voltage L<n>
+  // lines, with per-layer BER_th and placement stats.
+  const auto flat = digest(golden_result(0));
+  EXPECT_EQ(flat.find("layers="), std::string::npos);
+  EXPECT_EQ(flat.find("\nlayer0"), std::string::npos);
+  const auto deep = digest(golden_result(4));
+  EXPECT_NE(deep.find("layers=2\n"), std::string::npos);
+  EXPECT_NE(deep.find("layer0 ber_th="), std::string::npos);
+  EXPECT_NE(deep.find("layer1 ber_th="), std::string::npos);
+  EXPECT_NE(deep.find("\n  L0 ber_th="), std::string::npos);
+  EXPECT_NE(deep.find(" chunks="), std::string::npos);
+}
+
+TEST(Runner, DeepReportCarriesPerLayerStats) {
+  const auto& r = golden_result(4);
+  ASSERT_EQ(r.report.layer_ber_th.size(), 2u);
+  ASSERT_EQ(r.report.layer_curves.size(), 2u);
+  for (const auto& v : r.report.per_voltage) {
+    ASSERT_EQ(v.layers.size(), 2u);
+    double energy = 0.0;
+    std::size_t retweak = 0;
+    for (const auto& ls : v.layers) {
+      EXPECT_GT(ls.chunks, 0u);
+      energy += ls.energy_nj;
+      retweak += ls.retention_weak_cells;
+    }
+    // Top-level accounting aggregates the per-layer slices.
+    EXPECT_DOUBLE_EQ(energy, v.energy_nj);
+    EXPECT_EQ(retweak, v.retention_weak_cells);
+  }
+  // The JSON carries the per-layer blocks for deep scenarios only.
+  const auto json = to_json({r});
+  EXPECT_NE(json.find("\"layer_tolerance\""), std::string::npos);
+  EXPECT_NE(json.find("\"layers\""), std::string::npos);
+  EXPECT_EQ(to_json({golden_result(0)}).find("\"layer_tolerance\""),
+            std::string::npos);
+}
 
 TEST(Runner, DigestIsCompactAndLabelled) {
   const auto& r = golden_result(0);
@@ -429,7 +531,7 @@ TEST_P(GoldenReport, DigestMatchesCheckedInGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldenScenarios, GoldenReport,
-                         ::testing::Values(0u, 1u, 2u, 3u));
+                         ::testing::Range<std::size_t>(0u, kGoldenCount));
 
 }  // namespace
 }  // namespace sparkxd::scenario
