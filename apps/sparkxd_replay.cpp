@@ -1,0 +1,240 @@
+// sparkxd_replay — deterministic load generator for sparkxd_serve.
+//
+// Builds a procedural image pool, replays N classify requests over C
+// pipelined connections, and reports throughput + latency percentiles plus
+// the server's own counters. The id-sorted reply digest is a pure function
+// of (artifact, task, samples, seed, requests) — independent of
+// connections, windowing, server workers, and batching — so CI pins it as
+// a golden value to prove a deployment answers byte-for-byte.
+//
+//   sparkxd_replay --port N [--host IP] [--requests N] [--connections N]
+//                  [--window N] [--task digits|fashion] [--samples N]
+//                  [--seed N] [--json FILE] [--digest] [--stats]
+//
+// --port-file FILE reads the port sparkxd_serve wrote (see its --port-file).
+// --digest prints "serve_digest=<hex16> replies=<n>" on stdout (the golden
+// line); everything human-oriented goes to stderr.
+// --json writes a "sparkxd-bench-v1" report (same schema as bench/).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/json.hpp"
+#include "data/dataset.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: sparkxd_replay --port N | --port-file FILE  [options]\n"
+      "  --host IP          server address (default 127.0.0.1)\n"
+      "  --port N           server port\n"
+      "  --port-file FILE   read the port from FILE (sparkxd_serve "
+      "--port-file)\n"
+      "  --requests N       classify requests to send (default 1000)\n"
+      "  --connections N    parallel connections (default 1)\n"
+      "  --window N         max in-flight requests per connection "
+      "(default 64)\n"
+      "  --task NAME        image pool task: digits or fashion (default "
+      "digits)\n"
+      "  --samples N        image pool size (default 64)\n"
+      "  --seed N           determinism root for pool + request seeds "
+      "(default 7)\n"
+      "  --json FILE        write a sparkxd-bench-v1 JSON report to FILE\n"
+      "  --digest           print the golden digest line on stdout\n"
+      "  --help             this message\n");
+}
+
+long long parse_count(const char* what, const char* spec, long long lo,
+                      long long hi) {
+  char* end = nullptr;
+  const long long v = std::strtoll(spec, &end, 10);
+  if (end == spec || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "sparkxd_replay: %s wants an integer in [%lld, %lld]\n",
+                 what, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparkxd;
+
+  std::string host = "127.0.0.1", port_file, json_path;
+  long long port = -1;
+  serve::ClientOptions options;
+  data::Task task = data::Task::kDigits;
+  std::size_t samples = 64;
+  bool want_digest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sparkxd_replay: %s needs an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = parse_count("--port", next("--port"), 1, 65535);
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else if (arg == "--requests") {
+      options.requests = static_cast<std::size_t>(
+          parse_count("--requests", next("--requests"), 1, 1ll << 32));
+    } else if (arg == "--connections") {
+      options.connections = static_cast<std::size_t>(
+          parse_count("--connections", next("--connections"), 1, 4096));
+    } else if (arg == "--window") {
+      options.window = static_cast<std::size_t>(
+          parse_count("--window", next("--window"), 1, 1 << 20));
+    } else if (arg == "--task") {
+      const std::string spec = next("--task");
+      if (spec == "digits") {
+        task = data::Task::kDigits;
+      } else if (spec == "fashion") {
+        task = data::Task::kFashion;
+      } else {
+        std::fprintf(stderr,
+                     "sparkxd_replay: --task wants digits or fashion "
+                     "(got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+    } else if (arg == "--samples") {
+      samples = static_cast<std::size_t>(
+          parse_count("--samples", next("--samples"), 1, 1 << 20));
+    } else if (arg == "--seed") {
+      options.base_seed = static_cast<std::uint64_t>(
+          parse_count("--seed", next("--seed"), 0, 1ll << 62));
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--digest") {
+      want_digest = true;
+    } else {
+      std::fprintf(stderr, "sparkxd_replay: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+  if (!port_file.empty()) {
+    std::ifstream pf(port_file);
+    long long from_file = 0;
+    if (!(pf >> from_file) || from_file < 1 || from_file > 65535) {
+      std::fprintf(stderr, "sparkxd_replay: cannot read a port from '%s'\n",
+                   port_file.c_str());
+      return 2;
+    }
+    port = from_file;
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "sparkxd_replay: --port or --port-file is required\n");
+    print_usage(stderr);
+    return 2;
+  }
+
+  try {
+    // The pool and the per-request seeds both derive from --seed, so the
+    // whole request stream — and therefore the reply digest — is pinned by
+    // the flag values alone.
+    const auto pool = data::make_dataset(task, samples, options.base_seed);
+    std::fprintf(stderr,
+                 "sparkxd_replay: %zu requests over %zu connection(s) "
+                 "(window %zu, pool %s/%zu, seed %" PRIu64 ")\n",
+                 options.requests, options.connections, options.window,
+                 data::to_string(task), pool.size(), options.base_seed);
+
+    auto stats = serve::replay(host, static_cast<std::uint16_t>(port), pool,
+                               options);
+    const auto server_stats =
+        serve::fetch_stats(host, static_cast<std::uint16_t>(port));
+
+    const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
+    const double rps =
+        wall_s > 0.0 ? static_cast<double>(stats.replies) / wall_s : 0.0;
+    auto latency = stats.latency_us;  // percentile() sorts in place
+    const double p50 = serve::percentile(latency, 50.0);
+    const double p95 = serve::percentile(latency, 95.0);
+    const double p99 = serve::percentile(latency, 99.0);
+    std::fprintf(stderr,
+                 "sparkxd_replay: %" PRIu64 " replies in %.3fs — %.0f req/s, "
+                 "latency p50=%.0fus p95=%.0fus p99=%.0fus; server "
+                 "served=%" PRIu64 " batches=%" PRIu64 " max_queue=%" PRIu64
+                 "\n",
+                 stats.replies, wall_s, rps, p50, p95, p99,
+                 server_stats.served, server_stats.batches,
+                 server_stats.max_queue_depth);
+
+    if (!json_path.empty()) {
+      // Same layout as bench_common's BenchReport (schema
+      // "sparkxd-bench-v1") so the CI trend tooling reads one format.
+      json::Writer w;
+      w.begin_object();
+      w.field("schema", "sparkxd-bench-v1");
+      w.field("bench", "serve_replay");
+      w.field("scale", workload_scale());
+      w.field("seed", options.base_seed);
+      w.field("threads", static_cast<std::uint64_t>(options.connections));
+      w.key("phases").begin_array();
+      w.begin_object();
+      w.field("name", "replay");
+      w.field("reps", static_cast<std::uint64_t>(stats.replies));
+      w.field("total_ns", static_cast<double>(stats.wall_ns));
+      w.field("ns_per_rep",
+              static_cast<double>(stats.wall_ns) /
+                  static_cast<double>(stats.replies ? stats.replies : 1));
+      w.key("metrics").begin_object();
+      w.field("rps", rps);
+      w.field("p50_us", p50);
+      w.field("p95_us", p95);
+      w.field("p99_us", p99);
+      w.field("served", static_cast<double>(server_stats.served));
+      w.field("batches", static_cast<double>(server_stats.batches));
+      w.field("max_queue_depth",
+              static_cast<double>(server_stats.max_queue_depth));
+      for (std::size_t b = 0; b < server_stats.batch_hist.size(); ++b)
+        if (server_stats.batch_hist[b] != 0)
+          w.field("batch_" + std::to_string(b + 1),
+                  static_cast<double>(server_stats.batch_hist[b]));
+      w.end_object();
+      w.end_object();
+      w.end_array();
+      w.end_object();
+      std::ofstream out(json_path, std::ios::binary);
+      if (out) out << w.str() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "sparkxd_replay: cannot write '%s'\n",
+                     json_path.c_str());
+        return 1;
+      }
+    }
+
+    if (want_digest)
+      std::printf("serve_digest=%016" PRIx64 " replies=%" PRIu64 "\n",
+                  stats.digest, stats.replies);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sparkxd_replay: %s\n", e.what());
+    return 1;
+  }
+}

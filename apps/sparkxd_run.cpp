@@ -11,6 +11,11 @@
 //               [--out report.json] [--digest]
 //   sparkxd_run --filter smoke --threads 8 --out report.json
 //   sparkxd_run --all
+//   sparkxd_run --scenario NAME --export-artifact model.sxda
+//
+// --export-artifact additionally captures the serving artifact (trained
+// model + operating point + frozen per-layer injection tables + placement)
+// for sparkxd_serve; it requires exactly one selected scenario.
 //
 // Exit codes: 0 success, 2 bad usage / unknown scenario.
 
@@ -26,6 +31,7 @@
 #include "common/env.hpp"
 #include "scenario/matrix.hpp"
 #include "scenario/runner.hpp"
+#include "serve/artifact.hpp"
 
 namespace {
 
@@ -46,6 +52,13 @@ void print_usage(std::FILE* to) {
       "                     suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
+      "  --export-artifact FILE\n"
+      "                     also save the serving artifact (for\n"
+      "                     sparkxd_serve) to FILE; needs exactly one\n"
+      "                     selected scenario\n"
+      "  --artifact-voltage V\n"
+      "                     capture the artifact at supply voltage V (must\n"
+      "                     be on the scenario's grid; default: the lowest)\n"
       "  --digest           print golden digests of the results to stdout\n"
       "                     (mutually exclusive with --out -)\n"
       "  --timings          print per-phase wall-clock timings to stderr\n"
@@ -160,6 +173,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::vector<std::string> filters;
   std::string out_path;
+  std::string artifact_path;
+  bool have_artifact_voltage = false;
+  double artifact_voltage = 0.0;
   bool override_refresh = false;
   dram::RefreshPolicy refresh_override;
   bool override_layers = false;
@@ -197,6 +213,21 @@ int main(int argc, char** argv) {
       override_layers = true;
     } else if (arg == "--out") {
       out_path = next("--out");
+    } else if (arg == "--export-artifact") {
+      artifact_path = next("--export-artifact");
+    } else if (arg == "--artifact-voltage") {
+      const char* spec = next("--artifact-voltage");
+      char* end = nullptr;
+      artifact_voltage = std::strtod(spec, &end);
+      if (end == spec || *end != '\0' || !std::isfinite(artifact_voltage) ||
+          artifact_voltage <= 0.0) {
+        std::fprintf(stderr,
+                     "sparkxd_run: --artifact-voltage wants a positive "
+                     "voltage like 1.025 (got '%s')\n",
+                     spec);
+        return 2;
+      }
+      have_artifact_voltage = true;
     } else if (arg == "--threads") {
       const char* n = next("--threads");
       if (std::atoll(n) < 1) {
@@ -286,13 +317,49 @@ int main(int argc, char** argv) {
                  "or --all (or --list to browse)\n");
     return 2;
   }
+  if (!artifact_path.empty() && selected.size() != 1) {
+    std::fprintf(stderr,
+                 "sparkxd_run: --export-artifact captures one operating "
+                 "point and needs exactly one selected scenario (got %zu)\n",
+                 selected.size());
+    return 2;
+  }
 
   // --- Run. ----------------------------------------------------------------
   // Human-readable progress goes to stderr so --digest / --out - stdout
   // output stays machine-diffable.
   std::fprintf(stderr, "running %zu scenario(s) with %zu thread(s)\n",
                selected.size(), thread_count());
-  const auto results = scenario::run_scenarios(selected);
+  std::vector<scenario::ScenarioResult> results;
+  if (!artifact_path.empty()) {
+    // Artifact export runs the pipeline directly so it can pass the capture
+    // hook; the report (and thus --out/--digest) is bit-identical to the
+    // run_scenarios path.
+    const auto& s = selected.front();
+    const auto cfg = s.pipeline_config();
+    core::ArtifactState state;
+    if (have_artifact_voltage) {
+      for (std::size_t vi = 0; vi < cfg.voltages.size(); ++vi)
+        if (std::fabs(cfg.voltages[vi] - artifact_voltage) < 1e-9)
+          state.voltage_index = vi;
+      if (state.voltage_index == core::ArtifactState::npos) {
+        std::fprintf(stderr,
+                     "sparkxd_run: --artifact-voltage %.4f is not on the "
+                     "voltage grid of scenario '%s'\n",
+                     artifact_voltage, s.name.c_str());
+        return 2;
+      }
+    }
+    results.push_back({s, core::run_pipeline(cfg, &state)});
+    const auto artifact = serve::make_artifact(s.name, std::move(state));
+    serve::save_artifact(artifact, artifact_path);
+    std::fprintf(stderr,
+                 "wrote serving artifact '%s' (V=%.4f, module BER=%.3e)\n",
+                 artifact_path.c_str(), artifact.v_supply,
+                 artifact.module_ber);
+  } else {
+    results = scenario::run_scenarios(selected);
+  }
   for (const auto& r : results) {
     const auto& low = r.report.per_voltage.back();
     std::fprintf(stderr,

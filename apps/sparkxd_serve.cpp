@@ -1,0 +1,163 @@
+// sparkxd_serve — long-lived batched-inference daemon.
+//
+// Loads a serving artifact (sparkxd_run --export-artifact) once, then
+// serves classify requests over the length-prefixed TCP protocol
+// (src/serve/protocol.hpp) with an admission queue and dynamic batching.
+// SIGTERM/SIGINT triggers a graceful drain: every admitted request is
+// answered, then the process exits 0 with final counters on stderr.
+//
+//   sparkxd_serve --artifact model.sxda [--port N] [--port-file FILE]
+//                 [--workers N] [--max-batch N] [--max-wait-us N]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// resolved port as a single decimal line, which is how scripted callers
+// (CI, the throughput bench) find the server without racing it.
+//
+// Exit codes: 0 clean shutdown, 2 bad usage, 1 startup failure.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "serve/artifact.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: sparkxd_serve --artifact FILE [options]\n"
+      "  --artifact FILE    serving artifact from sparkxd_run "
+      "--export-artifact\n"
+      "  --port N           TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+      "  --port-file FILE   write the resolved port to FILE once listening\n"
+      "  --workers N        worker threads, one engine each (default 1)\n"
+      "  --max-batch N      batch size ceiling (default 16)\n"
+      "  --max-wait-us N    batching linger after the first queued request\n"
+      "                     (default 200)\n"
+      "  --help             this message\n"
+      "\nSIGTERM/SIGINT drains admitted requests, answers them, and exits "
+      "0.\n");
+}
+
+long long parse_count(const char* what, const char* spec, long long lo,
+                      long long hi) {
+  char* end = nullptr;
+  const long long v = std::strtoll(spec, &end, 10);
+  if (end == spec || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "sparkxd_serve: %s wants an integer in [%lld, %lld]\n",
+                 what, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparkxd;
+
+  std::string artifact_path, port_file;
+  serve::ServerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sparkxd_serve: %s needs an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--artifact") {
+      artifact_path = next("--artifact");
+    } else if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(
+          parse_count("--port", next("--port"), 0, 65535));
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else if (arg == "--workers") {
+      config.workers = static_cast<std::size_t>(
+          parse_count("--workers", next("--workers"), 1, 4096));
+    } else if (arg == "--max-batch") {
+      config.max_batch = static_cast<std::size_t>(
+          parse_count("--max-batch", next("--max-batch"), 1, 1 << 20));
+    } else if (arg == "--max-wait-us") {
+      config.max_wait_us = static_cast<std::uint64_t>(
+          parse_count("--max-wait-us", next("--max-wait-us"), 0, 60'000'000));
+    } else {
+      std::fprintf(stderr, "sparkxd_serve: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+  if (artifact_path.empty()) {
+    std::fprintf(stderr, "sparkxd_serve: --artifact is required\n");
+    print_usage(stderr);
+    return 2;
+  }
+
+  try {
+    const serve::ServingArtifact artifact =
+        serve::load_artifact(artifact_path);
+    serve::Server server(artifact, config);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.start();
+    std::fprintf(stderr,
+                 "sparkxd_serve: serving scenario '%s' on 127.0.0.1:%u "
+                 "(%zu workers, batch<=%zu, wait<=%lluus, V=%.4f, "
+                 "BER=%.3e)\n",
+                 artifact.scenario.c_str(), server.port(), config.workers,
+                 config.max_batch,
+                 static_cast<unsigned long long>(config.max_wait_us),
+                 artifact.v_supply, artifact.module_ber);
+    if (!port_file.empty()) {
+      // Written (and flushed) only after listen() — pollers that see the
+      // file can connect immediately.
+      std::ofstream pf(port_file, std::ios::trunc);
+      pf << server.port() << "\n";
+      pf.close();
+      if (!pf) {
+        std::fprintf(stderr, "sparkxd_serve: cannot write port file '%s'\n",
+                     port_file.c_str());
+        return 1;
+      }
+    }
+
+    while (g_signal.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::fprintf(stderr, "sparkxd_serve: signal %d, draining\n",
+                 g_signal.load());
+    server.request_stop();
+    server.wait();
+
+    const auto stats = server.stats();
+    std::fprintf(stderr,
+                 "sparkxd_serve: drained — served=%llu batches=%llu "
+                 "max_queue_depth=%llu\n",
+                 static_cast<unsigned long long>(stats.served),
+                 static_cast<unsigned long long>(stats.batches),
+                 static_cast<unsigned long long>(stats.max_queue_depth));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sparkxd_serve: %s\n", e.what());
+    return 1;
+  }
+}

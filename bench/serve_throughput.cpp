@@ -1,0 +1,131 @@
+// serve_throughput — requests/sec of the serving layer vs worker count.
+//
+// Builds a serving artifact in-process (the smoke-digits-m0 scenario — the
+// same golden-locked workload CI smokes), then for each worker count spins
+// up a loopback sparkxd serve::Server, replays a fixed deterministic
+// request stream against it, and reports throughput + latency percentiles
+// per configuration as sparkxd-bench-v1 phases ("serve_w1", "serve_w2",
+// ...). The reply digest MUST be identical across every worker count — the
+// serving determinism contract — and the exit code enforces it, so this
+// bench doubles as a concurrency regression check while CI archives the
+// numbers as a trend artifact (no thresholds).
+//
+//   serve_throughput [--json serve_throughput.json]
+//
+// Honours SPARKXD_SCALE / SPARKXD_SEED for the artifact workload. Exit
+// codes: 0 ok, 1 digest divergence across worker counts, 2 bad usage.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/artifact.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sparkxd;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = bench::json_out_path(argc, argv);
+  bench::banner("serving throughput vs worker count",
+                "batched serving scales with workers at a bit-stable digest");
+
+  // One artifact for every configuration, captured at the lowest voltage —
+  // the operating point the paper's pipeline actually selects for.
+  const auto* scenario = scenario::find_scenario("smoke-digits-m0");
+  SPARKXD_REQUIRE(scenario != nullptr, "smoke scenario disappeared");
+  core::ArtifactState state;
+  (void)core::run_pipeline(scenario->pipeline_config(), &state);
+  const auto artifact =
+      serve::make_artifact(scenario->name, std::move(state));
+
+  serve::ClientOptions options;
+  options.requests = scaled(600, 200);
+  options.connections = 4;
+  options.window = 32;
+  options.base_seed = experiment_seed();
+  const auto pool = data::make_dataset(data::Task::kDigits, 64,
+                                       options.base_seed);
+
+  // Clip the sweep to the host's cores, but never below {1, 2}: the
+  // cross-worker digest check needs at least two configurations, and mere
+  // oversubscription cannot perturb a deterministic reply.
+  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  while (worker_counts.size() > 2 && worker_counts.back() > hw)
+    worker_counts.pop_back();
+
+  bench::BenchReport report("serve_throughput");
+  Table tbl("serve_throughput", {"workers", "req/s", "p50 us", "p95 us",
+                                 "p99 us", "batches", "digest"});
+  bool diverged = false;
+  std::uint64_t reference_digest = 0;
+  for (const std::size_t workers : worker_counts) {
+    serve::ServerConfig config;
+    config.workers = workers;
+    config.max_batch = 8;
+    config.max_wait_us = 100;
+    serve::Server server(artifact, config);
+    server.start();
+    const auto stats = serve::replay("127.0.0.1", server.port(), pool,
+                                     options);
+    const auto server_stats = server.stats();
+    server.request_stop();
+    server.wait();
+
+    const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
+    const double rps =
+        wall_s > 0.0 ? static_cast<double>(stats.replies) / wall_s : 0.0;
+    auto latency = stats.latency_us;
+    const double p50 = serve::percentile(latency, 50.0);
+    const double p95 = serve::percentile(latency, 95.0);
+    const double p99 = serve::percentile(latency, 99.0);
+
+    if (workers == worker_counts.front()) {
+      reference_digest = stats.digest;
+    } else if (stats.digest != reference_digest) {
+      diverged = true;
+    }
+
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016" PRIx64,
+                  stats.digest);
+    tbl.add_row({std::to_string(workers), Table::num(rps, 0),
+                 Table::num(p50, 0), Table::num(p95, 0), Table::num(p99, 0),
+                 std::to_string(server_stats.batches), digest_hex});
+
+    auto& phase = report.add_phase("serve_w" + std::to_string(workers),
+                                   stats.replies,
+                                   static_cast<double>(stats.wall_ns));
+    phase.metrics.emplace_back("rps", rps);
+    phase.metrics.emplace_back("p50_us", p50);
+    phase.metrics.emplace_back("p95_us", p95);
+    phase.metrics.emplace_back("p99_us", p99);
+    phase.metrics.emplace_back("batches",
+                               static_cast<double>(server_stats.batches));
+    phase.metrics.emplace_back(
+        "max_queue_depth",
+        static_cast<double>(server_stats.max_queue_depth));
+  }
+  tbl.emit();
+
+  if (diverged) {
+    std::fprintf(stderr,
+                 "serve_throughput: reply digest DIVERGED across worker "
+                 "counts — the serving determinism contract is broken\n");
+    return 1;
+  }
+  std::printf("digest stable across %zu worker configurations\n",
+              worker_counts.size());
+  if (json_path != nullptr && !report.write(json_path)) return 2;
+  return 0;
+}

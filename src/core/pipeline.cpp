@@ -58,7 +58,20 @@ TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
 }
 
 PipelineReport run_pipeline(const PipelineConfig& cfg) {
+  return run_pipeline(cfg, nullptr);
+}
+
+PipelineReport run_pipeline(const PipelineConfig& cfg,
+                            ArtifactState* artifact) {
   cfg.validate();
+  const std::size_t capture_vi =
+      artifact == nullptr ? ArtifactState::npos
+      : artifact->voltage_index == ArtifactState::npos
+          ? cfg.voltages.size() - 1
+          : artifact->voltage_index;
+  if (artifact != nullptr)
+    SPARKXD_REQUIRE(capture_vi < cfg.voltages.size(),
+                    "artifact voltage index is outside the voltage grid");
   Rng rng(cfg.seed);
   PipelineReport report;
   // Phase wall clocks (informational; see PhaseTimings).
@@ -117,6 +130,13 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
   report.stage_curve = std::move(fa.stage_curve);
   report.improved_accuracy =
       snn::evaluate(fa.improved.net, fa.improved.labels, test, rng);
+  if (artifact != nullptr) {
+    // Copy the deployed model out now (the sweep below shares it
+    // read-only); its clean_accuracy becomes the error-free test accuracy.
+    artifact->model = fa.improved;
+    artifact->model->clean_accuracy = report.improved_accuracy;
+    artifact->weight_clip = cfg.fault_training.weight_clip;
+  }
 
   // --- Per-layer tolerance analysis (§IV-C, per layer). --------------------
   // A single-layer stack's per-layer vector IS the global result — no extra
@@ -200,6 +220,18 @@ PipelineReport run_pipeline(const PipelineConfig& cfg) {
         fa.improved.net, fa.improved.labels, eval_ptrs, row.module_ber,
         test, vrng, cfg.fault_training.eval_trials,
         cfg.fault_training.weight_clip);
+
+    // Artifact capture: exactly one sweep worker matches, so the write is
+    // race-free; freezing re-reads the injectors' candidate tables and
+    // consumes no Rng, leaving the report untouched.
+    if (artifact != nullptr && vi == capture_vi) {
+      artifact->v_supply = v;
+      artifact->module_ber = row.module_ber;
+      artifact->placement = placement;
+      artifact->frozen.clear();
+      for (const auto& inj : eval_injectors)
+        artifact->frozen.push_back(inj.freeze(row.module_ber));
+    }
 
     // Energy + throughput of the SparkXD mapping at this voltage: each
     // layer's weight stream is simulated over its own placement and the

@@ -269,6 +269,31 @@ FrozenInjection ErrorInjector::freeze(double ber) const {
   return f;
 }
 
+FrozenInjection FrozenInjection::from_parts(std::vector<Entry> entries,
+                                            double ber, double p0, double p1,
+                                            bool data_dependent,
+                                            std::size_t n_payload_bytes) {
+  SPARKXD_REQUIRE(std::isfinite(ber) && ber >= 0.0 && ber < 1.0,
+                  "frozen BER must lie in [0, 1)");
+  SPARKXD_REQUIRE(std::isfinite(p0) && p0 >= 0.0 && p0 <= 1.0 &&
+                      std::isfinite(p1) && p1 >= 0.0 && p1 <= 1.0,
+                  "flip probabilities must lie in [0, 1]");
+  const std::size_t n_words = n_payload_bytes / sizeof(float);
+  for (const auto& e : entries) {
+    SPARKXD_REQUIRE(e.word < n_words,
+                    "frozen entry addresses a word past the payload");
+    SPARKXD_REQUIRE(e.bit < 32, "frozen entry bit index must be < 32");
+  }
+  FrozenInjection f;
+  f.entries_ = std::move(entries);
+  f.ber_ = ber;
+  f.p0_ = p0;
+  f.p1_ = p1;
+  f.data_dependent_ = data_dependent;
+  f.n_payload_bytes_ = n_payload_bytes;
+  return f;
+}
+
 std::size_t FrozenInjection::inject(std::vector<float>& weights, Rng& rng,
                                     const SanitizeRange& sanitize,
                                     std::vector<WeightFlip>* flips) const {

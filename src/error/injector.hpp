@@ -95,6 +95,13 @@ void revert_flips(std::vector<float>& weights,
 /// (tests/error_test.cpp locks this down).
 class FrozenInjection {
  public:
+  struct Entry {
+    std::uint32_t word;  ///< flat FP32 index holding the weak cell
+    std::uint8_t bit;    ///< 0 (LSB) .. 31 within the little-endian word
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
   /// One corrupted "read" of `weights` at the frozen BER. Identical flip
   /// decisions and Rng consumption as ErrorInjector::inject(weights,
   /// ber(), rng, sanitize). When `flips` is non-null every flip is appended
@@ -109,13 +116,34 @@ class FrozenInjection {
   /// The BER this table was frozen at.
   [[nodiscard]] double ber() const noexcept { return ber_; }
 
+  // ---- Serialization access (serve::ServingArtifact). --------------------
+  // A frozen table is part of a deployed operating point: the offline
+  // pipeline freezes it once and the serving artifact carries it to the
+  // long-lived server, so its full state round-trips through a file.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] double p0() const noexcept { return p0_; }
+  [[nodiscard]] double p1() const noexcept { return p1_; }
+  [[nodiscard]] bool data_dependent() const noexcept {
+    return data_dependent_;
+  }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return n_payload_bytes_;
+  }
+
+  /// Reassembles a table from serialized parts; the result injects
+  /// bit-identically to the table the parts were read from. Validates every
+  /// entry (word within the payload, bit < 32) and the probabilities, so a
+  /// corrupt artifact fails loudly at load time instead of at inject time.
+  [[nodiscard]] static FrozenInjection from_parts(std::vector<Entry> entries,
+                                                  double ber, double p0,
+                                                  double p1,
+                                                  bool data_dependent,
+                                                  std::size_t n_payload_bytes);
+
  private:
   friend class ErrorInjector;
-
-  struct Entry {
-    std::uint32_t word;  ///< flat FP32 index holding the weak cell
-    std::uint8_t bit;    ///< 0 (LSB) .. 31 within the little-endian word
-  };
 
   std::vector<Entry> entries_;  ///< candidate-list prefix, original order
   double ber_ = 0.0;

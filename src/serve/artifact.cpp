@@ -1,0 +1,220 @@
+#include "serve/artifact.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "snn/model_io.hpp"
+
+namespace sparkxd::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'X', 'D', 'A'};
+constexpr std::uint32_t kVersion = 1;
+// A placement or frozen table bigger than this is a corrupt length field,
+// not a workload (the largest built-in scenarios stay far below it).
+constexpr std::uint64_t kMaxElems = 1ull << 32;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPARKXD_REQUIRE(is.good(), "truncated artifact file");
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  SPARKXD_REQUIRE(n <= 4096, "artifact string length is absurd");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  SPARKXD_REQUIRE(is.good(), "truncated artifact file");
+  return s;
+}
+
+void write_placement(std::ostream& os, const error::ChunkPlacement& p) {
+  write_pod(os, static_cast<std::uint64_t>(p.size()));
+  for (const auto& a : p) {
+    write_pod(os, a.channel);
+    write_pod(os, a.rank);
+    write_pod(os, a.chip);
+    write_pod(os, a.bank);
+    write_pod(os, a.subarray);
+    write_pod(os, a.row);
+    write_pod(os, a.column);
+  }
+}
+
+error::ChunkPlacement read_placement(std::istream& is) {
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  SPARKXD_REQUIRE(n <= kMaxElems, "artifact declares an absurd placement");
+  error::ChunkPlacement p(static_cast<std::size_t>(n));
+  for (auto& a : p) {
+    read_pod(is, a.channel);
+    read_pod(is, a.rank);
+    read_pod(is, a.chip);
+    read_pod(is, a.bank);
+    read_pod(is, a.subarray);
+    read_pod(is, a.row);
+    read_pod(is, a.column);
+  }
+  return p;
+}
+
+void write_frozen(std::ostream& os, const error::FrozenInjection& f) {
+  write_pod(os, f.ber());
+  write_pod(os, f.p0());
+  write_pod(os, f.p1());
+  write_pod(os, static_cast<std::uint8_t>(f.data_dependent() ? 1 : 0));
+  write_pod(os, static_cast<std::uint64_t>(f.payload_bytes()));
+  write_pod(os, static_cast<std::uint64_t>(f.entries().size()));
+  for (const auto& e : f.entries()) {
+    write_pod(os, e.word);
+    write_pod(os, e.bit);
+  }
+}
+
+error::FrozenInjection read_frozen(std::istream& is) {
+  double ber = 0.0, p0 = 0.0, p1 = 0.0;
+  read_pod(is, ber);
+  read_pod(is, p0);
+  read_pod(is, p1);
+  std::uint8_t dd = 0;
+  read_pod(is, dd);
+  SPARKXD_REQUIRE(dd <= 1, "artifact data-dependence flag is corrupt");
+  std::uint64_t payload = 0, n = 0;
+  read_pod(is, payload);
+  read_pod(is, n);
+  SPARKXD_REQUIRE(n <= kMaxElems, "artifact declares an absurd frozen table");
+  std::vector<error::FrozenInjection::Entry> entries(
+      static_cast<std::size_t>(n));
+  for (auto& e : entries) {
+    read_pod(is, e.word);
+    read_pod(is, e.bit);
+  }
+  // from_parts re-validates every entry against the payload size.
+  return error::FrozenInjection::from_parts(std::move(entries), ber, p0, p1,
+                                            dd != 0,
+                                            static_cast<std::size_t>(payload));
+}
+
+}  // namespace
+
+void ServingArtifact::validate() const {
+  SPARKXD_REQUIRE(!scenario.empty(), "artifact needs a scenario name");
+  SPARKXD_REQUIRE(std::isfinite(v_supply) && v_supply > 0.0,
+                  "artifact supply voltage must be positive and finite");
+  SPARKXD_REQUIRE(std::isfinite(module_ber) && module_ber >= 0.0 &&
+                      module_ber < 1.0,
+                  "artifact module BER must lie in [0, 1)");
+  const auto& cfg = model.net.config();
+  SPARKXD_REQUIRE(std::isfinite(weight_clip) && weight_clip > cfg.stdp.w_min,
+                  "artifact weight clip must exceed the weight floor");
+  SPARKXD_REQUIRE(layers.size() == model.net.n_layers(),
+                  "artifact needs one layer entry per network layer");
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    SPARKXD_REQUIRE(!layers[l].placement.empty(),
+                    "artifact layer placement is empty");
+    SPARKXD_REQUIRE(layers[l].frozen.payload_bytes() ==
+                        cfg.layer_weight_count(l) * sizeof(float),
+                    "artifact frozen table does not cover the layer weights");
+  }
+}
+
+ServingArtifact make_artifact(std::string scenario_name,
+                              core::ArtifactState&& captured) {
+  SPARKXD_REQUIRE(captured.model.has_value(),
+                  "artifact capture holds no model — run run_pipeline with "
+                  "this ArtifactState first");
+  ServingArtifact art(std::move(*captured.model));
+  art.scenario = std::move(scenario_name);
+  art.v_supply = captured.v_supply;
+  art.module_ber = captured.module_ber;
+  art.weight_clip = captured.weight_clip;
+  SPARKXD_REQUIRE(captured.placement.size() == captured.frozen.size() &&
+                      captured.placement.size() == art.model.net.n_layers(),
+                  "artifact capture is incomplete — placement/frozen tables "
+                  "missing for some layers");
+  art.layers.reserve(captured.placement.size());
+  for (std::size_t l = 0; l < captured.placement.size(); ++l)
+    art.layers.push_back({std::move(captured.placement[l].chunks),
+                          std::move(captured.frozen[l]),
+                          captured.placement[l].ber_th});
+  art.validate();
+  return art;
+}
+
+void save_artifact(const ServingArtifact& artifact, const std::string& path) {
+  artifact.validate();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SPARKXD_REQUIRE(os.good(), "cannot open artifact file for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_string(os, artifact.scenario);
+  write_pod(os, artifact.v_supply);
+  write_pod(os, artifact.module_ber);
+  write_pod(os, artifact.weight_clip);
+  // The model section embeds the complete model_io container (magic +
+  // version + payload), so artifact and standalone model files share one
+  // format and one loader.
+  snn::save_model(artifact.model, static_cast<std::ostream&>(os));
+  write_pod(os, static_cast<std::uint64_t>(artifact.layers.size()));
+  for (const auto& layer : artifact.layers) {
+    write_pod(os, layer.ber_th);
+    write_placement(os, layer.placement);
+    write_frozen(os, layer.frozen);
+  }
+  os.close();
+  SPARKXD_ENSURE(os.good(), "artifact write failed");
+}
+
+ServingArtifact load_artifact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPARKXD_REQUIRE(is.good(), "cannot open artifact file for reading");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  SPARKXD_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+                  "not a SparkXD serving artifact");
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  SPARKXD_REQUIRE(version == kVersion, "unsupported artifact version");
+  const std::string scenario = read_string(is);
+  double v_supply = 0.0, module_ber = 0.0;
+  float weight_clip = 0.0f;
+  read_pod(is, v_supply);
+  read_pod(is, module_ber);
+  read_pod(is, weight_clip);
+  ServingArtifact art(snn::load_model(static_cast<std::istream&>(is)));
+  art.scenario = scenario;
+  art.v_supply = v_supply;
+  art.module_ber = module_ber;
+  art.weight_clip = weight_clip;
+  std::uint64_t n_layers = 0;
+  read_pod(is, n_layers);
+  SPARKXD_REQUIRE(n_layers == art.model.net.n_layers(),
+                  "artifact layer count does not match the stored model");
+  art.layers.reserve(static_cast<std::size_t>(n_layers));
+  for (std::uint64_t l = 0; l < n_layers; ++l) {
+    LayerArtifact layer;
+    read_pod(is, layer.ber_th);
+    layer.placement = read_placement(is);
+    layer.frozen = read_frozen(is);
+    art.layers.push_back(std::move(layer));
+  }
+  art.validate();
+  return art;
+}
+
+}  // namespace sparkxd::serve

@@ -1,0 +1,67 @@
+#pragma once
+// The serving artifact — the frozen half of the artifact/serve split.
+//
+// SparkXD's offline pipeline (train -> fault-aware training -> tolerance
+// analysis -> error-aware mapping -> voltage sweep) chooses an OPERATING
+// POINT: a supply voltage, its module BER, a per-layer Algorithm-2
+// placement, and the frozen weak-cell injection tables at that BER. EDEN
+// and EnforceSNN both deploy approximate DRAM exactly this way — a fixed
+// configuration chosen offline, then run continuously. A ServingArtifact
+// serializes all of it (model_io v3 model + operating point + per-layer
+// FrozenInjection + placement) into ONE file ("SXDA") that a long-lived
+// server loads once and shares read-only across every worker; see
+// serve::Engine for the per-request determinism contract built on top.
+//
+// Export: `sparkxd_run --scenario NAME --export-artifact FILE`.
+// Serve:  `sparkxd_serve --artifact FILE`.
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "error/injector.hpp"
+#include "snn/trainer.hpp"
+
+namespace sparkxd::serve {
+
+/// One layer's share of the deployed operating point.
+struct LayerArtifact {
+  /// Algorithm-2 chunk placement of this layer's weights (diagnostic at
+  /// serve time — the weak cells it implies are baked into `frozen` — but
+  /// kept in the artifact so tooling can audit the deployed mapping).
+  error::ChunkPlacement placement;
+  /// Read-only injection plan at the operating BER, shared by all workers.
+  error::FrozenInjection frozen;
+  /// BER threshold the layer was placed under (post capacity relax).
+  double ber_th = 0.0;
+};
+
+/// Everything the serving daemon needs, loaded once and then immutable.
+struct ServingArtifact {
+  explicit ServingArtifact(snn::TrainedModel m) : model(std::move(m)) {}
+
+  std::string scenario;      ///< scenario name this was exported from
+  double v_supply = 0.0;     ///< deployed supply voltage
+  double module_ber = 0.0;   ///< operating bit-error rate at v_supply
+  float weight_clip = 0.0f;  ///< load-time range clip for corrupted weights
+  snn::TrainedModel model;   ///< improved (fault-aware) model + labels
+  std::vector<LayerArtifact> layers;  ///< one per network layer
+
+  /// Shape/consistency checks; throws ContractViolation with a specific
+  /// message. Called by save_artifact and load_artifact.
+  void validate() const;
+};
+
+/// Assembles an artifact from a pipeline run's capture (core::ArtifactState
+/// filled by core::run_pipeline). Throws if the capture is incomplete.
+[[nodiscard]] ServingArtifact make_artifact(std::string scenario_name,
+                                            core::ArtifactState&& captured);
+
+/// Writes the artifact to one file. Throws ContractViolation on I/O failure.
+void save_artifact(const ServingArtifact& artifact, const std::string& path);
+
+/// Loads an artifact written by save_artifact. Throws on I/O failure, bad
+/// magic/version, or a corrupt/truncated payload.
+[[nodiscard]] ServingArtifact load_artifact(const std::string& path);
+
+}  // namespace sparkxd::serve

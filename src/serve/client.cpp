@@ -1,0 +1,183 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace sparkxd::serve {
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SPARKXD_REQUIRE(fd >= 0, "cannot create a client socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    SPARKXD_REQUIRE(false, "client host must be a numeric IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    SPARKXD_REQUIRE(false, "cannot connect to the serving port");
+  }
+  return fd;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// What one connection thread brings home.
+struct ConnResult {
+  std::vector<ClassifyReply> replies;
+  std::vector<double> latency_us;
+  bool server_gone = false;
+};
+
+/// Drives the requests with index % stride == offset over one connection,
+/// keeping at most `window` of them in flight.
+void drive_connection(const std::string& host, std::uint16_t port,
+                      const data::Dataset& pool, const ClientOptions& options,
+                      std::size_t offset, ConnResult& out) {
+  const int fd = connect_to(host, port);
+  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
+  std::vector<std::uint8_t> payload;
+
+  const auto read_one = [&]() -> bool {
+    if (!read_frame(fd, payload)) return false;
+    ClassifyReply reply = decode_reply(payload);
+    const auto sent = in_flight.find(reply.id);
+    SPARKXD_REQUIRE(sent != in_flight.end(),
+                    "server replied to a request this connection never sent");
+    out.latency_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - sent->second)
+            .count());
+    in_flight.erase(sent);
+    out.replies.push_back(reply);
+    return true;
+  };
+
+  for (std::size_t i = offset; i < options.requests;
+       i += options.connections) {
+    ClassifyRequest request;
+    request.id = i;
+    request.seed = hash_combine(options.base_seed, i);
+    request.image = pool.images[i % pool.size()];
+    const auto frame = encode_classify(request);
+    in_flight.emplace(request.id, Clock::now());
+    if (!write_frame(fd, frame)) {
+      out.server_gone = true;
+      break;
+    }
+    while (in_flight.size() >= options.window) {
+      if (!read_one()) {
+        out.server_gone = true;
+        break;
+      }
+    }
+    if (out.server_gone) break;
+  }
+  while (!out.server_gone && !in_flight.empty()) {
+    if (!read_one()) out.server_gone = true;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+ReplayStats replay(const std::string& host, std::uint16_t port,
+                   const data::Dataset& pool, const ClientOptions& options) {
+  SPARKXD_REQUIRE(options.requests >= 1, "replay needs at least one request");
+  SPARKXD_REQUIRE(options.connections >= 1 && options.window >= 1,
+                  "replay needs at least one connection and a window >= 1");
+  SPARKXD_REQUIRE(pool.size() > 0, "replay needs a non-empty image pool");
+
+  const std::size_t n_conns = std::min(options.connections, options.requests);
+  std::vector<ConnResult> results(n_conns);
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_conns);
+    for (std::size_t c = 0; c < n_conns; ++c)
+      threads.emplace_back([&, c] {
+        ClientOptions opt = options;
+        opt.connections = n_conns;
+        drive_connection(host, port, pool, opt, c, results[c]);
+      });
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  std::vector<ClassifyReply> replies;
+  replies.reserve(options.requests);
+  for (auto& r : results) {
+    SPARKXD_REQUIRE(!r.server_gone,
+                    "server dropped a replay connection before replying to "
+                    "every admitted request");
+    replies.insert(replies.end(), r.replies.begin(), r.replies.end());
+  }
+  ReplayStats stats;
+  stats.replies = replies.size();
+  stats.digest = digest_replies(replies);
+  stats.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  for (auto& r : results)
+    stats.latency_us.insert(stats.latency_us.end(), r.latency_us.begin(),
+                            r.latency_us.end());
+  return stats;
+}
+
+ServerStats fetch_stats(const std::string& host, std::uint16_t port) {
+  const int fd = connect_to(host, port);
+  std::vector<std::uint8_t> payload;
+  bool ok = write_frame(fd, encode_stats_request()) &&
+            read_frame(fd, payload);
+  ServerStats stats;
+  if (ok) stats = decode_stats_reply(payload);
+  ::close(fd);
+  SPARKXD_REQUIRE(ok, "server closed the stats connection without replying");
+  return stats;
+}
+
+std::uint64_t digest_replies(std::vector<ClassifyReply>& replies) {
+  std::sort(replies.begin(), replies.end(),
+            [](const ClassifyReply& a, const ClassifyReply& b) {
+              return a.id < b.id;
+            });
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  const auto mix = [&h](std::uint64_t v, std::size_t n_bytes) {
+    for (std::size_t i = 0; i < n_bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV-1a 64 prime
+    }
+  };
+  for (const auto& r : replies) {
+    mix(r.id, 8);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.label)), 4);
+    mix(r.spikes, 4);
+    mix(r.flips, 4);
+  }
+  return h;
+}
+
+double percentile(std::vector<double>& sample, double p) {
+  SPARKXD_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must lie in [0, 100]");
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+  return sample[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace sparkxd::serve

@@ -1,0 +1,60 @@
+#pragma once
+// Client side of the serving protocol: a deterministic replay load
+// generator plus small helpers (connect, stats fetch, reply digest).
+//
+// replay() opens N connections, each driven by its own thread with a
+// windowed pipeline (up to `window` requests in flight per connection).
+// Request i carries id=i, seed=hash_combine(base_seed, i), and image
+// pool[i % pool.size()]; connection c sends the requests with i % N == c.
+// Because every reply is a pure function of (artifact, request) — see
+// engine.hpp — the id-sorted reply digest is identical no matter how the
+// server batches, how many workers it runs, or how the replies interleave,
+// which is exactly what the serve-smoke golden pins.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+namespace sparkxd::serve {
+
+struct ClientOptions {
+  std::size_t requests = 1000;
+  std::size_t connections = 1;
+  std::size_t window = 64;  ///< max in-flight requests per connection
+  std::uint64_t base_seed = 7;
+};
+
+struct ReplayStats {
+  std::uint64_t replies = 0;
+  std::uint64_t digest = 0;   ///< id-sorted FNV-1a over all replies
+  std::uint64_t wall_ns = 0;  ///< first send to last reply
+  /// One entry per reply: send-to-reply microseconds (unsorted).
+  std::vector<double> latency_us;
+};
+
+/// Blocking TCP connect to host:port; throws ContractViolation on failure.
+[[nodiscard]] int connect_to(const std::string& host, std::uint16_t port);
+
+/// Drives `options.requests` classify requests from the image pool and
+/// collects every reply. Throws if the server drops a connection early.
+[[nodiscard]] ReplayStats replay(const std::string& host, std::uint16_t port,
+                                 const data::Dataset& pool,
+                                 const ClientOptions& options);
+
+/// Fetches the server counters over a fresh connection.
+[[nodiscard]] ServerStats fetch_stats(const std::string& host,
+                                      std::uint16_t port);
+
+/// FNV-1a 64 over (id, label, spikes, flips) of the replies in ascending-id
+/// order (the input is sorted in place). Concurrency-order independent.
+[[nodiscard]] std::uint64_t digest_replies(std::vector<ClassifyReply>& replies);
+
+/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample; 0 when
+/// the sample is empty. The input is sorted in place.
+[[nodiscard]] double percentile(std::vector<double>& sample, double p);
+
+}  // namespace sparkxd::serve

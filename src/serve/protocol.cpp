@@ -1,0 +1,187 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::serve {
+
+namespace {
+
+// Raw little-endian POD append/extract. The framework already reads and
+// writes PODs byte for byte (model_io, the artifact), so the wire format
+// shares that convention.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  SPARKXD_REQUIRE(pos + sizeof(T) <= in.size(),
+                  "truncated protocol payload");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+void require_type(const std::vector<std::uint8_t>& payload, MsgType want) {
+  SPARKXD_REQUIRE(frame_type(payload) == want,
+                  "unexpected protocol message type");
+}
+
+}  // namespace
+
+MsgType frame_type(const std::vector<std::uint8_t>& payload) {
+  SPARKXD_REQUIRE(!payload.empty(), "empty protocol payload");
+  return static_cast<MsgType>(payload[0]);
+}
+
+std::vector<std::uint8_t> encode_classify(const ClassifyRequest& request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 8 + 4 + request.image.size() * sizeof(float));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kClassify));
+  put(out, request.id);
+  put(out, request.seed);
+  put(out, static_cast<std::uint32_t>(request.image.size()));
+  for (const float px : request.image) put(out, px);
+  return out;
+}
+
+ClassifyRequest decode_classify(const std::vector<std::uint8_t>& payload) {
+  require_type(payload, MsgType::kClassify);
+  std::size_t pos = 1;
+  ClassifyRequest req;
+  req.id = get<std::uint64_t>(payload, pos);
+  req.seed = get<std::uint64_t>(payload, pos);
+  const auto n = get<std::uint32_t>(payload, pos);
+  SPARKXD_REQUIRE(pos + static_cast<std::size_t>(n) * sizeof(float) ==
+                      payload.size(),
+                  "classify payload length does not match its pixel count");
+  req.image.resize(n);
+  for (auto& px : req.image) px = get<float>(payload, pos);
+  return req;
+}
+
+std::vector<std::uint8_t> encode_reply(const ClassifyReply& reply) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 4 + 4 + 4);
+  out.push_back(static_cast<std::uint8_t>(MsgType::kReply));
+  put(out, reply.id);
+  put(out, reply.label);
+  put(out, reply.spikes);
+  put(out, reply.flips);
+  return out;
+}
+
+ClassifyReply decode_reply(const std::vector<std::uint8_t>& payload) {
+  require_type(payload, MsgType::kReply);
+  std::size_t pos = 1;
+  ClassifyReply rep;
+  rep.id = get<std::uint64_t>(payload, pos);
+  rep.label = get<std::int32_t>(payload, pos);
+  rep.spikes = get<std::uint32_t>(payload, pos);
+  rep.flips = get<std::uint32_t>(payload, pos);
+  SPARKXD_REQUIRE(pos == payload.size(), "oversized reply payload");
+  return rep;
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  return {static_cast<std::uint8_t>(MsgType::kStats)};
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const ServerStats& stats) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(MsgType::kStatsReply));
+  put(out, stats.served);
+  put(out, stats.batches);
+  put(out, stats.max_queue_depth);
+  put(out, static_cast<std::uint32_t>(stats.batch_hist.size()));
+  for (const std::uint64_t h : stats.batch_hist) put(out, h);
+  return out;
+}
+
+ServerStats decode_stats_reply(const std::vector<std::uint8_t>& payload) {
+  require_type(payload, MsgType::kStatsReply);
+  std::size_t pos = 1;
+  ServerStats stats;
+  stats.served = get<std::uint64_t>(payload, pos);
+  stats.batches = get<std::uint64_t>(payload, pos);
+  stats.max_queue_depth = get<std::uint64_t>(payload, pos);
+  const auto n = get<std::uint32_t>(payload, pos);
+  SPARKXD_REQUIRE(pos + static_cast<std::size_t>(n) * sizeof(std::uint64_t) ==
+                      payload.size(),
+                  "stats payload length does not match its histogram size");
+  stats.batch_hist.resize(n);
+  for (auto& h : stats.batch_hist) h = get<std::uint64_t>(payload, pos);
+  return stats;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  SPARKXD_REQUIRE(!payload.empty() && payload.size() <= kMaxFrameBytes,
+                  "frame payload must be non-empty and bounded");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> buf;
+  buf.reserve(sizeof(len) + payload.size());
+  put(buf, len);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    // MSG_NOSIGNAL keeps a vanished peer from raising SIGPIPE at the
+    // server; non-socket fds (tests use pipes too) fall back to write().
+    ::ssize_t n = ::send(fd, buf.data() + done, buf.size() - done,
+                         MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone (EPIPE/ECONNRESET) or fd closed
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes; returns the byte count actually read (short on
+/// EOF or error).
+std::size_t read_full(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ::ssize_t r = ::read(fd, out + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // EOF
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t len_buf[4];
+  const std::size_t got = read_full(fd, len_buf, sizeof(len_buf));
+  if (got == 0) return false;  // clean EOF at a frame boundary
+  SPARKXD_REQUIRE(got == sizeof(len_buf), "truncated frame length prefix");
+  std::uint32_t len = 0;
+  std::memcpy(&len, len_buf, sizeof(len));
+  SPARKXD_REQUIRE(len > 0 && len <= kMaxFrameBytes,
+                  "frame length prefix out of bounds");
+  payload.resize(len);
+  SPARKXD_REQUIRE(read_full(fd, payload.data(), len) == len,
+                  "truncated frame payload");
+  return true;
+}
+
+}  // namespace sparkxd::serve

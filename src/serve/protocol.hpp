@@ -1,0 +1,79 @@
+#pragma once
+// Length-prefixed TCP wire protocol of the serving layer.
+//
+// Framing: every message is  [u32 LE payload length][payload] ; the payload
+// begins with a one-byte message type followed by fixed-width little-endian
+// fields (the same raw-POD convention model_io uses). There is no
+// versioning handshake — the protocol is an internal contract between
+// sparkxd_serve and its clients, pinned by tests.
+//
+//   kClassify   u64 id, u64 seed, u32 n_pixels, f32 pixels[n_pixels]
+//   kReply      u64 id, i32 label, u32 spikes, u32 flips
+//   kStats      (empty) — server answers with kStatsReply on the same
+//               connection, bypassing the batch queue
+//   kStatsReply u64 served, u64 batches, u64 max_queue_depth,
+//               u32 n_hist, u64 hist[n_hist]  (hist[i] = batches of size i+1)
+//
+// Encode/decode work on byte vectors (unit-testable without sockets);
+// read_frame/write_frame do the blocking fd I/O with full-length loops.
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace sparkxd::serve {
+
+enum class MsgType : std::uint8_t {
+  kClassify = 1,
+  kReply = 2,
+  kStats = 3,
+  kStatsReply = 4,
+};
+
+/// Upper bound on a frame payload; a length prefix beyond it is treated as
+/// a corrupt/hostile stream and read_frame throws.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+/// Server-side counters reported through kStatsReply.
+struct ServerStats {
+  std::uint64_t served = 0;   ///< replies written
+  std::uint64_t batches = 0;  ///< batches processed
+  std::uint64_t max_queue_depth = 0;  ///< high-water admission-queue depth
+  /// batch_hist[i] = number of batches of size i+1.
+  std::vector<std::uint64_t> batch_hist;
+
+  friend bool operator==(const ServerStats&, const ServerStats&) = default;
+};
+
+/// The type byte of a decoded payload; throws on an empty payload.
+[[nodiscard]] MsgType frame_type(const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_classify(
+    const ClassifyRequest& request);
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(
+    const ClassifyReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const ServerStats& stats);
+
+/// Decoders throw ContractViolation on a wrong type byte or a malformed /
+/// short payload.
+[[nodiscard]] ClassifyRequest decode_classify(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] ClassifyReply decode_reply(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] ServerStats decode_stats_reply(
+    const std::vector<std::uint8_t>& payload);
+
+/// Writes one frame (length prefix + payload) to `fd`, looping until all
+/// bytes are out. Returns false when the peer is gone (EPIPE/ECONNRESET);
+/// throws on malformed use (payload too large).
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame from `fd` into `payload`, looping until complete.
+/// Returns false on clean EOF at a frame boundary; throws ContractViolation
+/// on a truncated frame or an oversized length prefix.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+}  // namespace sparkxd::serve

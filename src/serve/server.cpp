@@ -1,0 +1,221 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/contracts.hpp"
+
+namespace sparkxd::serve {
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(const ServingArtifact& artifact, ServerConfig config)
+    : artifact_(&artifact), config_(config) {
+  SPARKXD_REQUIRE(config_.workers >= 1, "server needs at least one worker");
+  SPARKXD_REQUIRE(config_.max_batch >= 1, "server batch ceiling must be >= 1");
+  artifact.validate();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SPARKXD_REQUIRE(listen_fd_ >= 0, "cannot create the listening socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  SPARKXD_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "cannot bind the serving port");
+  SPARKXD_REQUIRE(::listen(listen_fd_, 128) == 0,
+                  "cannot listen on the serving port");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  SPARKXD_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0,
+                  "cannot read back the bound serving port");
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::start() {
+  SPARKXD_REQUIRE(!accept_thread_.joinable(), "server already started");
+  worker_threads_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Kick every reader out of its blocking read; replies still flow (the
+  // write half stays open until the connection object dies).
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& weak : conns_)
+    if (const auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+  queue_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is done, so reader_threads_ can no longer grow.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& t : readers) t.join();
+  for (auto& t : worker_threads_) t.join();
+  worker_threads_.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.served = served_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.batches = batches_;
+  out.max_queue_depth = max_queue_depth_;
+  out.batch_hist = batch_hist_;
+  return out;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or hard error): stop accepting
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;  // raced with request_stop(); the listener dies next round
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      ++active_readers_;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    accept_done_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    bool got = false;
+    try {
+      got = read_frame(conn->fd, payload);
+    } catch (const ContractViolation&) {
+      break;  // malformed stream: drop the connection
+    }
+    if (!got) break;  // clean EOF
+    MsgType type;
+    try {
+      type = frame_type(payload);
+      if (type == MsgType::kClassify) {
+        Job job{conn, decode_classify(payload)};
+        std::size_t depth = 0;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          queue_.push_back(std::move(job));
+          depth = queue_.size();
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          if (depth > max_queue_depth_) max_queue_depth_ = depth;
+        }
+        queue_cv_.notify_one();
+      } else if (type == MsgType::kStats) {
+        const auto frame = encode_stats_reply(stats());
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (!write_frame(conn->fd, frame)) break;
+      } else {
+        break;  // clients must not send server-to-client message types
+      }
+    } catch (const ContractViolation&) {
+      break;  // malformed payload: drop the connection
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --active_readers_;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::worker_loop() {
+  Engine engine(*artifact_);
+  std::vector<Job> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() ||
+               (stopping_.load() && accept_done_ && active_readers_ == 0);
+      });
+      if (queue_.empty()) return;  // fully drained, nothing can arrive
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.max_wait_us);
+      while (batch.size() < config_.max_batch) {
+        if (queue_.empty()) {
+          if (stopping_.load()) break;  // draining: don't linger for more
+          const bool arrived = queue_cv_.wait_until(
+              lock, deadline, [this] { return !queue_.empty(); });
+          if (!arrived) break;  // deadline hit: run what we have
+        }
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    record_batch(batch.size());
+    for (const auto& job : batch) {
+      ClassifyReply reply;
+      try {
+        reply = engine.classify(job.request);
+      } catch (const ContractViolation&) {
+        continue;  // bad request (e.g. wrong image size): no reply, no crash
+      }
+      const auto frame = encode_reply(reply);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> write_lock(job.conn->write_mu);
+      write_frame(job.conn->fd, frame);  // peer-gone is not our problem
+    }
+  }
+}
+
+void Server::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++batches_;
+  if (batch_hist_.size() < batch_size) batch_hist_.resize(batch_size, 0);
+  ++batch_hist_[batch_size - 1];
+}
+
+}  // namespace sparkxd::serve

@@ -1,0 +1,116 @@
+#pragma once
+// The long-lived serving daemon core: a localhost TCP listener feeding an
+// admission queue that worker threads drain in dynamic batches.
+//
+// Thread layout:
+//   accept thread        blocks in accept(), spawns one reader per client
+//   reader threads       decode frames; kClassify jobs go to the queue,
+//                        kStats is answered inline (it must not queue
+//                        behind the work it is measuring)
+//   worker threads       each owns a serve::Engine; pops a batch (up to
+//                        max_batch jobs, waiting at most max_wait_us for
+//                        stragglers after the first), classifies, writes
+//                        replies under the owning connection's write mutex
+//
+// Batching is a throughput lever only: replies are deterministic per
+// request (see engine.hpp), so batch boundaries and worker assignment are
+// unobservable in the payloads.
+//
+// Shutdown contract: request_stop() stops accepting, wakes the readers
+// (SHUT_RD on every live connection), and lets the workers drain whatever
+// was already admitted; wait() joins everything. Every admitted request is
+// answered before its connection closes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+namespace sparkxd::serve {
+
+struct ServerConfig {
+  std::uint16_t port = 0;       ///< 0 = ephemeral; read back via port()
+  std::size_t workers = 1;      ///< engines (and threads) draining the queue
+  std::size_t max_batch = 16;   ///< batch size ceiling
+  std::uint64_t max_wait_us = 200;  ///< linger for stragglers after job #1
+};
+
+class Server {
+ public:
+  /// Binds and validates but does not serve yet; the artifact must outlive
+  /// the server.
+  Server(const ServingArtifact& artifact, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept thread and the worker pool.
+  void start();
+
+  /// The bound port (resolved even when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Begins the graceful drain; idempotent, safe from a signal-poll loop.
+  void request_stop();
+
+  /// Joins all threads; returns once every admitted request is answered
+  /// and every connection is closed. Blocks until request_stop() happens.
+  void wait();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mu;  ///< replies from different workers interleave
+  };
+
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    ClassifyRequest request;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void worker_loop();
+  void record_batch(std::size_t batch_size);
+
+  const ServingArtifact* artifact_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> reader_threads_;        // guarded by conns_mu_
+  std::vector<std::weak_ptr<Connection>> conns_;   // guarded by conns_mu_
+
+  // Admission queue. Workers may exit only when the queue is empty AND no
+  // producer can refill it (accept loop done, all readers done).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;           // guarded by queue_mu_
+  std::size_t active_readers_ = 0;  // guarded by queue_mu_
+  bool accept_done_ = false;        // guarded by queue_mu_
+
+  std::atomic<std::uint64_t> served_{0};
+  mutable std::mutex stats_mu_;
+  std::uint64_t batches_ = 0;                // guarded by stats_mu_
+  std::uint64_t max_queue_depth_ = 0;        // guarded by stats_mu_
+  std::vector<std::uint64_t> batch_hist_;    // guarded by stats_mu_
+};
+
+}  // namespace sparkxd::serve

@@ -1,7 +1,10 @@
 #include "snn/model_io.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "common/contracts.hpp"
 
@@ -12,28 +15,32 @@ namespace {
 constexpr char kMagic[4] = {'S', 'X', 'D', 'M'};
 // v2: layer-stack models — hidden layer sizes plus one weight/theta blob
 // per layer replace the single-layer blobs of v1.
-constexpr std::uint32_t kVersion = 2;
+// v3: LifParams/StdpParams are serialized field by field instead of as raw
+// struct images. Raw images leak uninitialized alignment padding (LifParams
+// ends in two bools), so two saves of the same model differed on disk, and
+// the layout silently depended on the compiler's padding choices.
+constexpr std::uint32_t kVersion = 3;
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
+void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-void read_pod(std::ifstream& is, T& v) {
+void read_pod(std::istream& is, T& v) {
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   SPARKXD_REQUIRE(is.good(), "truncated model file");
 }
 
 template <typename T>
-void write_vec(std::ofstream& os, const std::vector<T>& v) {
+void write_vec(std::ostream& os, const std::vector<T>& v) {
   write_pod(os, static_cast<std::uint64_t>(v.size()));
   os.write(reinterpret_cast<const char*>(v.data()),
            static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
 template <typename T>
-void read_vec(std::ifstream& is, std::vector<T>& v,
+void read_vec(std::istream& is, std::vector<T>& v,
               std::uint64_t max_elems) {
   std::uint64_t n = 0;
   read_pod(is, n);
@@ -44,11 +51,63 @@ void read_vec(std::ifstream& is, std::vector<T>& v,
   SPARKXD_REQUIRE(is.good(), "truncated model file");
 }
 
+void write_bool(std::ostream& os, bool b) {
+  write_pod(os, static_cast<std::uint8_t>(b ? 1 : 0));
+}
+
+void read_bool(std::istream& is, bool& b) {
+  std::uint8_t byte = 0;
+  read_pod(is, byte);
+  b = byte != 0;
+}
+
+void write_lif(std::ostream& os, const LifParams& p) {
+  write_pod(os, p.v_rest);
+  write_pod(os, p.v_reset);
+  write_pod(os, p.v_thresh);
+  write_pod(os, p.tau_m_ms);
+  write_pod(os, static_cast<std::int64_t>(p.refractory_steps));
+  write_pod(os, p.theta_plus);
+  write_pod(os, p.tau_theta_ms);
+  write_pod(os, p.inhibition);
+  write_bool(os, p.winner_take_all);
+  write_bool(os, p.compete_at_inference);
+}
+
+void read_lif(std::istream& is, LifParams& p) {
+  read_pod(is, p.v_rest);
+  read_pod(is, p.v_reset);
+  read_pod(is, p.v_thresh);
+  read_pod(is, p.tau_m_ms);
+  std::int64_t refractory = 0;
+  read_pod(is, refractory);
+  p.refractory_steps = static_cast<int>(refractory);
+  read_pod(is, p.theta_plus);
+  read_pod(is, p.tau_theta_ms);
+  read_pod(is, p.inhibition);
+  read_bool(is, p.winner_take_all);
+  read_bool(is, p.compete_at_inference);
+}
+
+void write_stdp(std::ostream& os, const StdpParams& p) {
+  write_pod(os, p.eta);
+  write_pod(os, p.x_target);
+  write_pod(os, p.tau_pre_ms);
+  write_pod(os, p.w_min);
+  write_pod(os, p.w_max);
+}
+
+void read_stdp(std::istream& is, StdpParams& p) {
+  read_pod(is, p.eta);
+  read_pod(is, p.x_target);
+  read_pod(is, p.tau_pre_ms);
+  read_pod(is, p.w_min);
+  read_pod(is, p.w_max);
+}
+
 }  // namespace
 
-void save_model(const TrainedModel& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  SPARKXD_REQUIRE(os.good(), "cannot open model file for writing");
+void save_model(const TrainedModel& model, std::ostream& os) {
   os.write(kMagic, sizeof(kMagic));
   write_pod(os, kVersion);
 
@@ -62,8 +121,8 @@ void save_model(const TrainedModel& model, const std::string& path) {
   write_pod(os, cfg.max_rate);
   write_pod(os, cfg.norm_target);
   write_pod(os, cfg.seed);
-  write_pod(os, cfg.lif);
-  write_pod(os, cfg.stdp);
+  write_lif(os, cfg.lif);
+  write_stdp(os, cfg.stdp);
 
   for (std::size_t l = 0; l < model.net.n_layers(); ++l) {
     write_vec(os, model.net.weights(l));
@@ -76,9 +135,15 @@ void save_model(const TrainedModel& model, const std::string& path) {
   SPARKXD_ENSURE(os.good(), "model write failed");
 }
 
-TrainedModel load_model(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  SPARKXD_REQUIRE(is.good(), "cannot open model file for reading");
+void save_model(const TrainedModel& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SPARKXD_REQUIRE(os.good(), "cannot open model file for writing");
+  save_model(model, static_cast<std::ostream&>(os));
+  os.close();
+  SPARKXD_ENSURE(os.good(), "model write failed");
+}
+
+TrainedModel load_model(std::istream& is) {
   char magic[4];
   is.read(magic, sizeof(magic));
   SPARKXD_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
@@ -103,8 +168,8 @@ TrainedModel load_model(const std::string& path) {
   read_pod(is, cfg.max_rate);
   read_pod(is, cfg.norm_target);
   read_pod(is, cfg.seed);
-  read_pod(is, cfg.lif);
-  read_pod(is, cfg.stdp);
+  read_lif(is, cfg.lif);
+  read_stdp(is, cfg.stdp);
 
   TrainedModel model{Network(cfg), {}, 0.0};
   for (std::size_t l = 0; l < model.net.n_layers(); ++l) {
@@ -129,6 +194,12 @@ TrainedModel load_model(const std::string& path) {
   model.labels.num_classes = static_cast<std::size_t>(num_classes);
   read_pod(is, model.clean_accuracy);
   return model;
+}
+
+TrainedModel load_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPARKXD_REQUIRE(is.good(), "cannot open model file for reading");
+  return load_model(static_cast<std::istream&>(is));
 }
 
 }  // namespace sparkxd::snn

@@ -9,6 +9,7 @@
 // Format: a small versioned binary container ("SXDM"), little-endian,
 // fixed-width fields; no external dependencies.
 
+#include <iosfwd>
 #include <string>
 
 #include "snn/trainer.hpp"
@@ -22,5 +23,12 @@ void save_model(const TrainedModel& model, const std::string& path);
 /// Loads a model previously written by save_model. Throws on I/O failure,
 /// bad magic/version, or a corrupt payload (size mismatch).
 [[nodiscard]] TrainedModel load_model(const std::string& path);
+
+/// Stream overloads: write/read the same container (magic + version + the
+/// full payload) at the stream's current position, so a model section can
+/// be embedded inside a larger file — the serving artifact does exactly
+/// this. The file-path functions above forward here.
+void save_model(const TrainedModel& model, std::ostream& os);
+[[nodiscard]] TrainedModel load_model(std::istream& is);
 
 }  // namespace sparkxd::snn

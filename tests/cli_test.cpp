@@ -1,0 +1,94 @@
+// CLI contract tests for sparkxd_run: bad usage must exit 2 with a clear
+// stderr message, --help must exit 0. These run the real binary (path baked
+// in via SPARKXD_RUN_BIN) so the exit codes scripts and CI depend on are
+// pinned by a test, not convention.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, merged
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(SPARKXD_RUN_BIN) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult result;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+    result.output.append(buf, n);
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CliTest, UnknownScenarioExitsTwoWithMessage) {
+  const auto r = run_cli("--scenario no-such-scenario-xyz");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown scenario 'no-such-scenario-xyz'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("--list"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, NoSelectionExitsTwo) {
+  const auto r = run_cli("--digest");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("nothing selected"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, BadRefreshSpecExitsTwo) {
+  const auto r = run_cli("--scenario smoke-digits-m0 --refresh bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--refresh"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, UnknownOptionExitsTwo) {
+  const auto r = run_cli("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ExportArtifactNeedsExactlyOneScenario) {
+  const auto r = run_cli(
+      "--scenario smoke-digits-m0 --scenario smoke-fashion-salp-m1 "
+      "--export-artifact /tmp/cli_test_never_written.sxda");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("exactly one selected scenario"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, BadArtifactVoltageExitsTwo) {
+  const auto r = run_cli(
+      "--scenario smoke-digits-m0 --export-artifact "
+      "/tmp/cli_test_never_written.sxda --artifact-voltage nope");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--artifact-voltage"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, HelpExitsZero) {
+  const auto r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage: sparkxd_run"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("--export-artifact"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ListExitsZeroAndNamesGoldenScenarios) {
+  const auto r = run_cli("--list");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("smoke-digits-m0"), std::string::npos) << r.output;
+}
+
+}  // namespace

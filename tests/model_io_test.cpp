@@ -12,6 +12,15 @@
 namespace sparkxd::snn {
 namespace {
 
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(is.good()) << path;
+  std::vector<char> bytes(static_cast<std::size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
 class ModelIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -84,6 +93,104 @@ TEST_F(ModelIoTest, RejectsTruncatedFile) {
   is.close();
   std::ofstream os(path_, std::ios::binary | std::ios::trunc);
   os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  os.close();
+  EXPECT_THROW((void)load_model(path_), ContractViolation);
+}
+
+TEST_F(ModelIoTest, SaveLoadSaveIsByteIdentical) {
+  save_model(*model_, path_);
+  const auto loaded = load_model(path_);
+  const std::string path2 = path_ + ".resaved";
+  save_model(loaded, path2);
+  EXPECT_EQ(file_bytes(path_), file_bytes(path2));
+  std::remove(path2.c_str());
+}
+
+// Two *separately constructed* models with identical values must serialize
+// to identical bytes. This is the reproducible-artifact contract: v2 wrote
+// LifParams/StdpParams as raw struct images, so uninitialized alignment
+// padding leaked into the file and two exports of the same scenario
+// differed on disk. v3 serializes field by field.
+TEST_F(ModelIoTest, IndependentlyTrainedTwinsSerializeIdentically) {
+  NetworkConfig cfg;
+  cfg.n_neurons = 25;
+  cfg.timesteps = 30;
+  cfg.seed = 3;
+  Rng rng(3);
+  const TrainedModel twin = train_and_label(cfg, train_, test_, 1, rng);
+  const std::string path2 = path_ + ".twin";
+  save_model(*model_, path_);
+  save_model(twin, path2);
+  EXPECT_EQ(file_bytes(path_), file_bytes(path2));
+  std::remove(path2.c_str());
+}
+
+TEST_F(ModelIoTest, RejectsBadVersion) {
+  save_model(*model_, path_);
+  // Corrupt the version field (u32 right after the 4-byte magic).
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4);
+  const std::uint32_t bogus = 999;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  EXPECT_THROW((void)load_model(path_), ContractViolation);
+}
+
+// The deep-stack variants: the container must round-trip a multi-layer
+// model (per-layer weight/theta blobs) just as faithfully as the flat one.
+class ModelIoDeepTest : public ModelIoTest {
+ protected:
+  void SetUp() override {
+    ModelIoTest::SetUp();
+    NetworkConfig cfg;
+    cfg.n_neurons = 20;
+    cfg.hidden_neurons = {12};
+    cfg.timesteps = 30;
+    cfg.seed = 3;
+    Rng rng(3);
+    model_ = std::make_unique<TrainedModel>(
+        train_and_label(cfg, train_, test_, 1, rng));
+  }
+};
+
+TEST_F(ModelIoDeepTest, RoundTripPreservesEveryLayer) {
+  ASSERT_EQ(model_->net.n_layers(), 2u);
+  save_model(*model_, path_);
+  const auto loaded = load_model(path_);
+  ASSERT_EQ(loaded.net.n_layers(), model_->net.n_layers());
+  for (std::size_t l = 0; l < model_->net.n_layers(); ++l) {
+    EXPECT_EQ(loaded.net.weights(l), model_->net.weights(l));
+    EXPECT_EQ(loaded.net.thetas(l), model_->net.thetas(l));
+  }
+  EXPECT_EQ(loaded.net.config().hidden_neurons,
+            model_->net.config().hidden_neurons);
+  EXPECT_EQ(loaded.clean_accuracy, model_->clean_accuracy);
+}
+
+TEST_F(ModelIoDeepTest, LoadedModelPredictsIdentically) {
+  save_model(*model_, path_);
+  auto loaded = load_model(path_);
+  Rng a(9), b(9);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(predict(loaded.net, loaded.labels, test_.images[i], a),
+              predict(model_->net, model_->labels, test_.images[i], b));
+}
+
+TEST_F(ModelIoDeepTest, SaveLoadSaveIsByteIdentical) {
+  save_model(*model_, path_);
+  const auto loaded = load_model(path_);
+  const std::string path2 = path_ + ".resaved";
+  save_model(loaded, path2);
+  EXPECT_EQ(file_bytes(path_), file_bytes(path2));
+  std::remove(path2.c_str());
+}
+
+TEST_F(ModelIoDeepTest, RejectsTruncatedFile) {
+  save_model(*model_, path_);
+  const auto bytes = file_bytes(path_);
+  // Cut inside the second layer's blobs.
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 64));
   os.close();
   EXPECT_THROW((void)load_model(path_), ContractViolation);
 }

@@ -1,0 +1,144 @@
+// Tests for the serving wire protocol: encoder/decoder round trips,
+// malformed-payload rejection, and frame I/O over real fds.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "serve/protocol.hpp"
+
+namespace sparkxd::serve {
+namespace {
+
+ClassifyRequest sample_request() {
+  ClassifyRequest req;
+  req.id = 0x1122334455667788ULL;
+  req.seed = 0xdeadbeefcafef00dULL;
+  req.image = {0.0f, 0.25f, 0.5f, 1.0f};
+  return req;
+}
+
+TEST(ServeProtocolTest, ClassifyRoundTrip) {
+  const auto req = sample_request();
+  const auto payload = encode_classify(req);
+  EXPECT_EQ(frame_type(payload), MsgType::kClassify);
+  const auto back = decode_classify(payload);
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.seed, req.seed);
+  EXPECT_EQ(back.image, req.image);
+}
+
+TEST(ServeProtocolTest, ReplyRoundTrip) {
+  ClassifyReply rep;
+  rep.id = 42;
+  rep.label = -1;
+  rep.spikes = 17;
+  rep.flips = 3;
+  const auto payload = encode_reply(rep);
+  EXPECT_EQ(frame_type(payload), MsgType::kReply);
+  EXPECT_EQ(decode_reply(payload), rep);
+}
+
+TEST(ServeProtocolTest, StatsRoundTrip) {
+  ServerStats stats;
+  stats.served = 1000;
+  stats.batches = 131;
+  stats.max_queue_depth = 77;
+  stats.batch_hist = {10, 0, 5, 116};
+  const auto payload = encode_stats_reply(stats);
+  EXPECT_EQ(frame_type(payload), MsgType::kStatsReply);
+  EXPECT_EQ(decode_stats_reply(payload), stats);
+  EXPECT_EQ(frame_type(encode_stats_request()), MsgType::kStats);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedPayloads) {
+  EXPECT_THROW((void)frame_type({}), ContractViolation);
+
+  auto classify = encode_classify(sample_request());
+  // Wrong type byte for the decoder.
+  EXPECT_THROW((void)decode_reply(classify), ContractViolation);
+  // Truncated: pixel count no longer matches the payload length.
+  classify.pop_back();
+  EXPECT_THROW((void)decode_classify(classify), ContractViolation);
+
+  ClassifyReply rep;
+  auto reply = encode_reply(rep);
+  reply.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)decode_reply(reply), ContractViolation);
+
+  auto stats = encode_stats_reply(ServerStats{1, 2, 3, {4, 5}});
+  stats.resize(stats.size() - 3);  // cut inside the histogram
+  EXPECT_THROW((void)decode_stats_reply(stats), ContractViolation);
+}
+
+/// Frame I/O runs over a socketpair — the same fd type the server uses, so
+/// the send/recv path (MSG_NOSIGNAL) is what gets exercised.
+class ServeFrameIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(ServeFrameIoTest, WriteThenReadRoundTrips) {
+  const auto req = sample_request();
+  ASSERT_TRUE(write_frame(fds_[0], encode_classify(req)));
+  ASSERT_TRUE(write_frame(fds_[0], encode_stats_request()));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(fds_[1], payload));
+  EXPECT_EQ(decode_classify(payload).image, req.image);
+  ASSERT_TRUE(read_frame(fds_[1], payload));
+  EXPECT_EQ(frame_type(payload), MsgType::kStats);
+}
+
+TEST_F(ServeFrameIoTest, CleanEofReturnsFalse) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(read_frame(fds_[1], payload));
+}
+
+TEST_F(ServeFrameIoTest, TruncatedFrameThrows) {
+  // A length prefix promising 100 bytes, then EOF after 3.
+  const std::uint32_t len = 100;
+  ASSERT_EQ(::write(fds_[0], &len, sizeof(len)),
+            static_cast<::ssize_t>(sizeof(len)));
+  const std::uint8_t partial[3] = {1, 2, 3};
+  ASSERT_EQ(::write(fds_[0], partial, sizeof(partial)),
+            static_cast<::ssize_t>(sizeof(partial)));
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW((void)read_frame(fds_[1], payload), ContractViolation);
+}
+
+TEST_F(ServeFrameIoTest, OversizedLengthPrefixThrows) {
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  ASSERT_EQ(::write(fds_[0], &len, sizeof(len)),
+            static_cast<::ssize_t>(sizeof(len)));
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW((void)read_frame(fds_[1], payload), ContractViolation);
+}
+
+TEST_F(ServeFrameIoTest, WriteToClosedPeerReturnsFalse) {
+  ::close(fds_[1]);
+  fds_[1] = -1;
+  // Large enough to overflow any kernel buffer on the first write; must
+  // come back as `false`, not SIGPIPE.
+  ClassifyRequest req = sample_request();
+  req.image.assign(1 << 20, 0.5f);
+  EXPECT_FALSE(write_frame(fds_[0], encode_classify(req)));
+}
+
+}  // namespace
+}  // namespace sparkxd::serve

@@ -1,0 +1,263 @@
+// Tests for the serving layer: artifact container round trips, engine
+// determinism, cross-thread artifact sharing, and the server end to end
+// (digest parity with a serial engine across batching configurations,
+// graceful drain accounting).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "serve/artifact.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+
+namespace sparkxd::serve {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 11;
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(is.good()) << path;
+  std::vector<char> bytes(static_cast<std::size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+/// One artifact for the whole suite: a real (tiny) pipeline run takes a few
+/// seconds, and every test here reads the artifact without mutating it.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::PipelineConfig cfg;
+    cfg.network.n_neurons = 20;
+    cfg.network.timesteps = 30;
+    cfg.network.seed = 5;
+    cfg.train_samples = 80;
+    cfg.test_samples = 40;
+    cfg.baseline_epochs = 1;
+    cfg.fault_training.ber_stages = {1e-5, 1e-3};
+    cfg.voltages = {1.250, 1.025};
+    cfg.seed = 5;
+    core::ArtifactState state;
+    (void)core::run_pipeline(cfg, &state);
+    artifact_ = new ServingArtifact(
+        make_artifact("serve-test", std::move(state)));
+    pool_ = new data::Dataset(
+        data::make_dataset(data::Task::kDigits, 16, kBaseSeed));
+  }
+  static void TearDownTestSuite() {
+    delete artifact_;
+    artifact_ = nullptr;
+    delete pool_;
+    pool_ = nullptr;
+  }
+
+  /// The replay client's request construction, mirrored exactly (id = i,
+  /// seed = hash_combine(base, i), image = pool[i % pool]).
+  static ClassifyRequest request(std::size_t i) {
+    ClassifyRequest req;
+    req.id = i;
+    req.seed = hash_combine(kBaseSeed, i);
+    req.image = pool_->images[i % pool_->size()];
+    return req;
+  }
+
+  static std::vector<ClassifyReply> serial_replies(
+      const ServingArtifact& artifact, std::size_t n) {
+    Engine engine(artifact);
+    std::vector<ClassifyReply> replies;
+    replies.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      replies.push_back(engine.classify(request(i)));
+    return replies;
+  }
+
+  static ServingArtifact* artifact_;
+  static data::Dataset* pool_;
+};
+
+ServingArtifact* ServeTest::artifact_ = nullptr;
+data::Dataset* ServeTest::pool_ = nullptr;
+
+// ---------------------------------------------------------------- artifact
+
+TEST_F(ServeTest, ArtifactSaveLoadSaveIsByteIdentical) {
+  const std::string path = ::testing::TempDir() + "serve_test.sxda";
+  const std::string path2 = path + ".resaved";
+  save_artifact(*artifact_, path);
+  const auto loaded = load_artifact(path);
+  save_artifact(loaded, path2);
+  EXPECT_EQ(file_bytes(path), file_bytes(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST_F(ServeTest, ArtifactLoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "serve_test_bad.sxda";
+  EXPECT_THROW((void)load_artifact("/nonexistent/dir/a.sxda"),
+               ContractViolation);
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTANARTIFACT_____________________";
+  }
+  EXPECT_THROW((void)load_artifact(path), ContractViolation);
+  // A truncated real artifact must throw, never return a partial object.
+  save_artifact(*artifact_, path);
+  const auto bytes = file_bytes(path);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW((void)load_artifact(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST_F(ServeTest, EngineIsDeterministicAndStateless) {
+  Engine engine(*artifact_);
+  const auto first = serial_replies(*artifact_, 24);
+  // Replaying the same requests in a scrambled order, interleaved with
+  // other requests, must reproduce every reply bit for bit — classify()
+  // restores the scratch weights after each call.
+  for (const std::size_t i : {17u, 3u, 3u, 23u, 0u, 11u, 17u}) {
+    const auto again = engine.classify(request(i));
+    EXPECT_EQ(again, first[i]) << "request " << i;
+  }
+  // Sanity: the workload is non-trivial (faults actually flip bits, spikes
+  // actually fire somewhere in the stream).
+  std::uint64_t total_flips = 0, total_spikes = 0;
+  for (const auto& r : first) {
+    total_flips += r.flips;
+    total_spikes += r.spikes;
+  }
+  EXPECT_GT(total_flips, 0u);
+  EXPECT_GT(total_spikes, 0u);
+}
+
+TEST_F(ServeTest, LoadedArtifactRepliesMatchOriginal) {
+  const std::string path = ::testing::TempDir() + "serve_test_load.sxda";
+  save_artifact(*artifact_, path);
+  const auto loaded = load_artifact(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(serial_replies(loaded, 16), serial_replies(*artifact_, 16));
+}
+
+// Satellite: N threads, each with its own Engine over the SAME artifact
+// object, classify the same request list concurrently; every thread's
+// replies must be bit-equal to the single-threaded run (the artifact is
+// genuinely read-only under concurrent injection-table reads).
+TEST_F(ServeTest, SharedArtifactAcrossThreadsIsBitEqual) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRequests = 12;
+  const auto expected = serial_replies(*artifact_, kRequests);
+  std::vector<std::vector<ClassifyReply>> per_thread(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t)
+      threads.emplace_back([t, &per_thread] {
+        per_thread[t] = serial_replies(*artifact_, kRequests);
+      });
+    for (auto& th : threads) th.join();
+  }
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(per_thread[t], expected) << "thread " << t;
+}
+
+// ------------------------------------------------------------------ server
+
+TEST_F(ServeTest, ServerDigestMatchesSerialAcrossConfigs) {
+  constexpr std::size_t kRequests = 80;
+  auto expected = serial_replies(*artifact_, kRequests);
+  const std::uint64_t expected_digest = digest_replies(expected);
+
+  struct Config {
+    std::size_t workers, max_batch, connections;
+  };
+  for (const auto& c : {Config{1, 1, 1}, Config{4, 8, 3}}) {
+    ServerConfig server_config;
+    server_config.workers = c.workers;
+    server_config.max_batch = c.max_batch;
+    server_config.max_wait_us = 100;
+    Server server(*artifact_, server_config);
+    server.start();
+
+    ClientOptions options;
+    options.requests = kRequests;
+    options.connections = c.connections;
+    options.window = 16;
+    options.base_seed = kBaseSeed;
+    const auto stats =
+        replay("127.0.0.1", server.port(), *pool_, options);
+    EXPECT_EQ(stats.replies, kRequests);
+    EXPECT_EQ(stats.digest, expected_digest)
+        << "workers=" << c.workers << " batch=" << c.max_batch;
+
+    server.request_stop();
+    server.wait();
+    // Drain accounting: every admitted request was answered, batch sizes
+    // stayed within the ceiling, and the histogram adds up.
+    const auto server_stats = server.stats();
+    EXPECT_EQ(server_stats.served, kRequests);
+    EXPECT_LE(server_stats.batch_hist.size(), c.max_batch);
+    std::uint64_t hist_jobs = 0;
+    for (std::size_t b = 0; b < server_stats.batch_hist.size(); ++b)
+      hist_jobs += server_stats.batch_hist[b] * (b + 1);
+    EXPECT_EQ(hist_jobs, kRequests);
+    EXPECT_GE(server_stats.max_queue_depth, 1u);
+  }
+}
+
+TEST_F(ServeTest, ServerAnswersStatsAndSurvivesBadClients) {
+  ServerConfig server_config;
+  server_config.workers = 2;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  // A client that sends garbage gets dropped; the server keeps serving.
+  {
+    const int fd = connect_to("127.0.0.1", server.port());
+    const std::vector<std::uint8_t> garbage = {0x7f, 1, 2, 3};
+    ASSERT_TRUE(write_frame(fd, garbage));
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(read_frame(fd, payload));  // server closed on us
+    ::close(fd);
+  }
+  // A classify with the wrong pixel count is dropped without an answer and
+  // without poisoning the worker.
+  {
+    const int fd = connect_to("127.0.0.1", server.port());
+    ClassifyRequest bad;
+    bad.image = {0.5f, 0.5f};
+    ASSERT_TRUE(write_frame(fd, encode_classify(bad)));
+    ::close(fd);
+  }
+
+  ClientOptions options;
+  options.requests = 8;
+  options.base_seed = kBaseSeed;
+  const auto stats = replay("127.0.0.1", server.port(), *pool_, options);
+  EXPECT_EQ(stats.replies, 8u);
+  const auto server_stats = fetch_stats("127.0.0.1", server.port());
+  EXPECT_EQ(server_stats.served, 8u);
+
+  server.request_stop();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace sparkxd::serve
