@@ -28,7 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/env.hpp"
+#include "error/ecc_scheme.hpp"
 #include "scenario/matrix.hpp"
 #include "scenario/runner.hpp"
 #include "serve/artifact.hpp"
@@ -50,6 +52,10 @@ void print_usage(std::FILE* to) {
       "                     scenario: 'flat' (single layer) or hidden sizes\n"
       "                     like 64 or 64,32 (renames them with a -l*\n"
       "                     suffix)\n"
+      "  --ecc SPEC         override the ECC scheme of every selected\n"
+      "                     scenario: off, parity, secded, hsiao, or bch,\n"
+      "                     optionally with a codeword payload size like\n"
+      "                     bch:4096 (renames them with a -ecc-* suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --export-artifact FILE\n"
@@ -81,16 +87,17 @@ std::string layers_label(const sparkxd::scenario::Scenario& s) {
 }
 
 void list_scenarios(const std::vector<sparkxd::scenario::Scenario>& all) {
-  std::printf("%-36s %-13s %8s %-8s %6s %-10s %-6s %-7s %s\n", "name", "task",
-              "neurons", "layers", "volts", "geometry", "model", "refresh",
-              "description");
+  std::printf("%-36s %-13s %8s %-8s %6s %-10s %-6s %-7s %-9s %s\n", "name",
+              "task", "neurons", "layers", "volts", "geometry", "model",
+              "refresh", "ecc", "description");
   for (const auto& s : all) {
-    std::printf("%-36s %-13s %8zu %-8s %6zu %-10s %-6s %-7s %s\n",
+    std::printf("%-36s %-13s %8zu %-8s %6zu %-10s %-6s %-7s %-9s %s\n",
                 s.name.c_str(), sparkxd::data::to_string(s.task), s.n_neurons,
                 layers_label(s).c_str(), s.voltages.size(),
                 s.salp ? "salp" : "commodity",
                 sparkxd::scenario::model_label(s.error_model.kind),
                 sparkxd::scenario::refresh_label(s.refresh).c_str(),
+                sparkxd::error::ecc_label(s.ecc).c_str(),
                 s.description.c_str());
   }
 }
@@ -153,6 +160,61 @@ std::vector<std::size_t> parse_layers_spec(const std::string& spec) {
   return hidden;
 }
 
+/// Parses an --ecc SPEC: "off" or a scheme name (parity/secded/hsiao/bch),
+/// optionally with a ":<data_bits>" codeword payload size like "bch:4096".
+/// Exits with usage code 2 on anything else (including sizes the scheme
+/// rejects, e.g. secded with data_bits != 64).
+sparkxd::error::EccSpec parse_ecc_spec(const std::string& spec) {
+  using sparkxd::error::EccKind;
+  sparkxd::error::EccSpec out;
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const auto fail = [&](const char* why) {
+    std::fprintf(stderr,
+                 "sparkxd_run: --ecc wants off, parity, secded, hsiao, or "
+                 "bch, optionally with a payload size like bch:4096 "
+                 "(got '%s': %s)\n",
+                 spec.c_str(), why);
+    std::exit(2);
+  };
+  if (kind == "off" || kind == "none") {
+    if (colon != std::string::npos) fail("'off' takes no payload size");
+    return out;
+  } else if (kind == "parity") {
+    out.kind = EccKind::kParity;
+  } else if (kind == "secded") {
+    out.kind = EccKind::kSecded;
+  } else if (kind == "hsiao") {
+    out.kind = EccKind::kHsiao;
+  } else if (kind == "bch") {
+    out.kind = EccKind::kBch;
+  } else {
+    fail("unknown scheme");
+  }
+  if (colon != std::string::npos) {
+    const std::string part = spec.substr(colon + 1);
+    char* end = nullptr;
+    errno = 0;
+    const long long bits = std::strtoll(part.c_str(), &end, 10);
+    if (part.empty() || end != part.c_str() + part.size() || errno != 0 ||
+        bits < 1)
+      fail("payload size is not a positive bit count");
+    out.data_bits = static_cast<std::size_t>(bits);
+  }
+  try {
+    out.validate();
+  } catch (const sparkxd::ContractViolation& e) {
+    fail(e.what());
+  }
+  return out;
+}
+
+/// Scenario-name-safe suffix of an --ecc override ("-ecc-none",
+/// "-ecc-bch4096b").
+std::string ecc_suffix(const sparkxd::error::EccSpec& spec) {
+  return "-ecc-" + sparkxd::error::ecc_label(spec);
+}
+
 /// Scenario-name-safe suffix of a --layers override ("-lflat", "-l64-32").
 std::string layers_suffix(const std::vector<std::size_t>& hidden) {
   if (hidden.empty()) return "-lflat";
@@ -180,6 +242,8 @@ int main(int argc, char** argv) {
   dram::RefreshPolicy refresh_override;
   bool override_layers = false;
   std::vector<std::size_t> layers_override;
+  bool override_ecc = false;
+  error::EccSpec ecc_override;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -211,6 +275,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--layers") {
       layers_override = parse_layers_spec(next("--layers"));
       override_layers = true;
+    } else if (arg == "--ecc") {
+      ecc_override = parse_ecc_spec(next("--ecc"));
+      override_ecc = true;
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--export-artifact") {
@@ -298,6 +365,13 @@ int main(int argc, char** argv) {
             s.hidden_neurons = layers_override;
             s.name += layers_suffix(layers_override);
             s.description += " [layers override]";
+          }
+        }
+        if (override_ecc) {
+          for (auto& s : scenarios) {
+            s.ecc = ecc_override;
+            s.name += ecc_suffix(ecc_override);
+            s.description += " [ecc override]";
           }
         }
       };

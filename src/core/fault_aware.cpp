@@ -81,6 +81,87 @@ double evaluate_corrupted(const snn::Network& net,
   return acc_sum / static_cast<double>(trials);
 }
 
+double evaluate_corrupted_ecc(const snn::Network& net,
+                              const snn::NeuronLabels& labels,
+                              const LayerInjectors& injectors,
+                              const LayerEcc& ecc, double ber,
+                              const data::Dataset& test, Rng& rng,
+                              std::size_t trials, float weight_clip,
+                              std::vector<EccScrubTotals>* totals) {
+  SPARKXD_REQUIRE(trials >= 1, "need at least one evaluation trial");
+  const std::size_t n_layers = net.n_layers();
+  SPARKXD_REQUIRE(injectors.size() == n_layers && ecc.size() == n_layers,
+                  "need one injector and one ecc slot per network layer");
+  for (std::size_t l = 0; l < n_layers; ++l)
+    SPARKXD_REQUIRE(ecc[l].scheme == nullptr || ecc[l].checks != nullptr,
+                    "an ecc-protected layer needs its check words");
+  const error::SanitizeRange clip{net.config().stdp.w_min, weight_clip};
+  // Same stream discipline as evaluate_corrupted (one parent draw, per-trial
+  // inject/eval substream pair, per-worker scratch network) — see the
+  // comments there. The difference is purely in what happens to a corrupted
+  // word: raw injection, codeword scrub, then the clip only where the code
+  // failed.
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<error::FrozenInjection> frozen(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l)
+    if (injectors[l] != nullptr) frozen[l] = injectors[l]->freeze(ber);
+  std::vector<double> accs(trials, 0.0);
+  // Per-(trial, layer) scrub slots keep the reduction order deterministic
+  // regardless of which worker ran which trial.
+  std::vector<error::EccScrubStats> trial_stats(
+      totals != nullptr ? trials * n_layers : 0);
+  parallel_for_chunks(
+      trials, [&](std::size_t begin, std::size_t end, std::size_t) {
+        snn::Network scratch = net;
+        scratch.sync_transpose();
+        snn::InferenceState state(scratch);
+        std::vector<std::vector<error::WeightFlip>> flips(n_layers);
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::uint64_t inject_seed = hash_combine(stream, 2 * t);
+          Rng eval_rng(hash_combine(stream, 2 * t + 1));
+          for (std::size_t l = 0; l < n_layers; ++l) {
+            if (injectors[l] == nullptr) continue;
+            Rng inject_rng = layer_inject_rng(inject_seed, l, n_layers);
+            flips[l].clear();
+            if (ecc[l].scheme != nullptr) {
+              frozen[l].inject(scratch.weights_delta(l), inject_rng,
+                               error::SanitizeRange::raw(), &flips[l]);
+              const std::size_t n_injected = flips[l].size();
+              const error::EccScrubStats st = error::ecc_scrub_codewords(
+                  *ecc[l].scheme, scratch.weights_delta(l), *ecc[l].checks,
+                  flips[l], n_injected, clip);
+              if (totals != nullptr) trial_stats[t * n_layers + l] = st;
+            } else {
+              frozen[l].inject(scratch.weights_delta(l), inject_rng, clip,
+                               &flips[l]);
+            }
+            for (const auto& f : flips[l]) scratch.mirror_weight(l, f.word);
+          }
+          accs[t] = snn::evaluate(scratch, state, labels, test, eval_rng);
+          for (std::size_t l = 0; l < n_layers; ++l) {
+            if (injectors[l] == nullptr) continue;
+            error::revert_flips(scratch.weights_delta(l), flips[l]);
+            for (const auto& f : flips[l]) scratch.mirror_weight(l, f.word);
+          }
+        }
+      });
+  double acc_sum = 0.0;
+  for (const double a : accs) acc_sum += a;
+  if (totals != nullptr) {
+    totals->assign(n_layers, EccScrubTotals{});
+    for (std::size_t t = 0; t < trials; ++t) {
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        const error::EccScrubStats& st = trial_stats[t * n_layers + l];
+        (*totals)[l].codewords += st.codewords;
+        (*totals)[l].corrected += st.corrected;
+        (*totals)[l].detected += st.detected;
+        (*totals)[l].bits_corrected += st.bits_corrected;
+      }
+    }
+  }
+  return acc_sum / static_cast<double>(trials);
+}
+
 double evaluate_corrupted(const snn::Network& net,
                           const snn::NeuronLabels& labels,
                           const error::ErrorInjector& injector, double ber,

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "error/ecc_scheme.hpp"
 #include "error/injector.hpp"
 #include "snn/trainer.hpp"
 
@@ -106,6 +107,42 @@ using LayerInjectors = std::vector<const error::ErrorInjector*>;
                                         double ber, const data::Dataset& test,
                                         Rng& rng, std::size_t trials = 1,
                                         float weight_clip = kDefaultWeightClip);
+
+/// Per-layer ECC protection for corrupted evaluation: the scheme plus the
+/// check words computed from that layer's CLEAN weights
+/// (error::ecc_encode_buffer). A null scheme leaves the layer on the legacy
+/// clip-only path. Size must equal the network's n_layers().
+struct LayerEccState {
+  const error::EccScheme* scheme = nullptr;
+  const std::vector<std::uint64_t>* checks = nullptr;
+};
+using LayerEcc = std::vector<LayerEccState>;
+
+/// Scrub statistics accumulated over all Monte-Carlo trials of one
+/// evaluate_corrupted_ecc call, per layer.
+struct EccScrubTotals {
+  std::uint64_t codewords = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t bits_corrected = 0;
+};
+
+/// ECC-protected variant of the layer-stack evaluate_corrupted: each trial
+/// injects RAW bit flips (no load-time clip — the decoder must see exactly
+/// the stored bits), scrubs only the corrupted codewords against the
+/// layer's check words (error::ecc_scrub_codewords), and applies the range
+/// clip solely to words of codewords the code could not restore. Rng
+/// stream discipline is identical to evaluate_corrupted, so with every
+/// scheme null this consumes the same draws (the clip timing differs, so
+/// use the plain overload for unprotected runs). When `totals` is non-null
+/// it is resized to n_layers and filled with per-layer scrub counts summed
+/// over trials, deterministically (trial-ascending reduction).
+[[nodiscard]] double evaluate_corrupted_ecc(
+    const snn::Network& net, const snn::NeuronLabels& labels,
+    const LayerInjectors& injectors, const LayerEcc& ecc, double ber,
+    const data::Dataset& test, Rng& rng, std::size_t trials = 1,
+    float weight_clip = kDefaultWeightClip,
+    std::vector<EccScrubTotals>* totals = nullptr);
 
 /// Algorithm 1: improves the baseline model's error tolerance and records
 /// the largest stage BER whose accuracy meets

@@ -39,6 +39,7 @@ void PipelineConfig::validate() const {
   geometry.validate();
   refresh.validate(dram::TimingParams::lpddr3_1600());
   error_model.retention.validate();
+  ecc.validate();
 }
 
 TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
@@ -46,14 +47,26 @@ TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
                                  std::size_t n_weights, double v_supply,
                                  const energy::VoltageModel& vm,
                                  const energy::PowerModel& pm, bool salp,
-                                 const dram::RefreshPolicy& refresh) {
+                                 const dram::RefreshPolicy& refresh,
+                                 const EccStreamOverhead* ecc) {
   const auto timing = vm.derive_timings(v_supply);
   dram::Controller controller(geometry, timing, salp, refresh);
   const auto trace =
       mapping::streaming_read_trace(geometry, placement, n_weights);
   TraceEnergy te;
   te.stats = controller.run(trace, kBurstArrivalNs);
+  if (ecc != nullptr && ecc->codewords > 0) {
+    // The scrub engine decodes every fetched codeword; the added time
+    // extends the makespan BEFORE energy conversion so background (and the
+    // estimated-refresh term) accrue over it, and the reported speedup vs
+    // the accurate baseline reflects the decode latency.
+    te.stats.total_time_ns += static_cast<double>(ecc->codewords) *
+                              ecc->decode_ns_per_codeword;
+  }
   te.energy = pm.trace_energy(te.stats, v_supply, refresh);
+  if (ecc != nullptr)
+    te.energy.ecc_nj = static_cast<double>(ecc->codewords) *
+                       ecc->decode_nj_per_codeword;
   return te;
 }
 
@@ -164,6 +177,27 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
   const auto t_fault_trained = now();
   report.timings.fault_training_ns = since(t_trained, t_fault_trained);
 
+  // --- ECC axis (third approximation knob). --------------------------------
+  // The escalation ladder starts at the configured scheme and appends
+  // strictly stronger codes; per-(ladder step, layer) check words are
+  // computed ONCE from the improved model's clean weights and shared
+  // read-only across the voltage sweep (the clean weights never change
+  // after Algorithm 1).
+  const bool ecc_on = cfg.ecc.enabled();
+  std::vector<std::unique_ptr<error::EccScheme>> ecc_ladder;
+  std::vector<std::vector<std::vector<std::uint64_t>>> ecc_checks;
+  if (ecc_on) {
+    for (const error::EccSpec& spec : error::ecc_escalation_ladder(cfg.ecc))
+      ecc_ladder.push_back(error::make_ecc_scheme(spec));
+    ecc_checks.resize(ecc_ladder.size());
+    for (std::size_t k = 0; k < ecc_ladder.size(); ++k) {
+      ecc_checks[k].resize(n_layers);
+      for (std::size_t l = 0; l < n_layers; ++l)
+        ecc_checks[k][l] =
+            error::ecc_encode_buffer(*ecc_ladder[k], fa.improved.net.weights(l));
+    }
+  }
+
   // --- Baseline energy reference: accurate DRAM @ 1.35 V, baseline map. ----
   // When the refresh axis is simulated, the reference runs at the NOMINAL
   // cadence (accurate DRAM refreshes on spec), so reduced-refresh scenarios
@@ -193,14 +227,40 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
     row.v_supply = v;
     row.module_ber = ber_model.ber(v);
 
+    // Per-layer ECC scheme assignment: walk the escalation ladder to the
+    // weakest code whose tolerable raw BER (at this layer's learned
+    // post-correction tolerance) covers the operating BER — a layer whose
+    // BER_th is not met at this voltage escalates its code BEFORE the
+    // placement has to relax capacity. The code's absorption also raises
+    // the layer's effective placement threshold, and the check bits join
+    // the layer's stored footprint (placement + streamed traffic).
+    std::vector<std::size_t> scheme_idx(n_layers, 0);
+    std::vector<double> place_th = report.layer_ber_th;
+    std::vector<std::size_t> stored_weights = layer_weights;
+    if (ecc_on) {
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        std::size_t k = 0;
+        while (k + 1 < ecc_ladder.size() &&
+               ecc_ladder[k]->tolerable_raw_ber(report.layer_ber_th[l]) <
+                   row.module_ber)
+          ++k;
+        scheme_idx[l] = k;
+        place_th[l] = std::max(
+            report.layer_ber_th[l],
+            ecc_ladder[k]->tolerable_raw_ber(report.layer_ber_th[l]));
+        stored_weights[l] =
+            layer_weights[l] +
+            error::ecc_check_float_equiv(*ecc_ladder[k], layer_weights[l]);
+      }
+    }
+
     // Algorithm 2 per layer: each layer's weights go into its own region of
     // safe subarrays at ITS tolerance threshold; if a layer's learned
     // BER_th is too strict to fit at this operating BER, the placement
     // relaxes it to the smallest feasible threshold and reports that
     // honestly (LayerPlacement::capacity_relaxed).
     const auto placement = mapping::sparkxd_placement_layers(
-        cfg.geometry, profile, row.module_ber, report.layer_ber_th,
-        layer_weights);
+        cfg.geometry, profile, row.module_ber, place_th, stored_weights);
     for (const auto& lp : placement) {
       row.capacity_relaxed |= lp.capacity_relaxed;
       row.safe_subarrays = std::max(row.safe_subarrays, lp.safe_subarrays);
@@ -216,10 +276,26 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
           layer_weights[l], cfg.seed, std::max(row.module_ber, 1e-12)));
     LayerInjectors eval_ptrs;
     for (const auto& inj : eval_injectors) eval_ptrs.push_back(&inj);
-    row.accuracy = evaluate_corrupted(
-        fa.improved.net, fa.improved.labels, eval_ptrs, row.module_ber,
-        test, vrng, cfg.fault_training.eval_trials,
-        cfg.fault_training.weight_clip);
+    std::vector<EccScrubTotals> scrub_totals;
+    if (ecc_on) {
+      // The injectors above target the payload words only (check-word
+      // corruption is idealized away — the scrub engine's own storage is
+      // assumed protected); injection is raw and the scrub corrects or
+      // clips per codeword.
+      LayerEcc layer_ecc(n_layers);
+      for (std::size_t l = 0; l < n_layers; ++l)
+        layer_ecc[l] = {ecc_ladder[scheme_idx[l]].get(),
+                        &ecc_checks[scheme_idx[l]][l]};
+      row.accuracy = evaluate_corrupted_ecc(
+          fa.improved.net, fa.improved.labels, eval_ptrs, layer_ecc,
+          row.module_ber, test, vrng, cfg.fault_training.eval_trials,
+          cfg.fault_training.weight_clip, &scrub_totals);
+    } else {
+      row.accuracy = evaluate_corrupted(
+          fa.improved.net, fa.improved.labels, eval_ptrs, row.module_ber,
+          test, vrng, cfg.fault_training.eval_trials,
+          cfg.fault_training.weight_clip);
+    }
 
     // Artifact capture: exactly one sweep worker matches, so the write is
     // race-free; freezing re-reads the injectors' candidate tables and
@@ -240,9 +316,17 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
     double total_time_ns = 0.0;
     std::uint64_t hits = 0, accesses = 0;
     for (std::size_t l = 0; l < n_layers; ++l) {
-      const auto te = weight_stream_energy(cfg.geometry, placement[l].chunks,
-                                           layer_weights[l], v, voltage_model,
-                                           power_model, cfg.salp, cfg.refresh);
+      EccStreamOverhead ecc_oh;
+      if (ecc_on) {
+        const error::EccScheme& scheme = *ecc_ladder[scheme_idx[l]];
+        ecc_oh.codewords = error::ecc_codeword_count(scheme, layer_weights[l]);
+        ecc_oh.decode_ns_per_codeword = scheme.decode_latency_ns();
+        ecc_oh.decode_nj_per_codeword = scheme.decode_energy_nj();
+      }
+      const auto te = weight_stream_energy(
+          cfg.geometry, placement[l].chunks, stored_weights[l], v,
+          voltage_model, power_model, cfg.salp, cfg.refresh,
+          ecc_on ? &ecc_oh : nullptr);
       LayerVoltageStats& ls = row.layers[l];
       ls.ber_th = placement[l].ber_th;
       ls.capacity_relaxed = placement[l].capacity_relaxed;
@@ -252,6 +336,19 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
       ls.row_hit_rate = te.stats.hit_rate();
       ls.refreshes = te.stats.refreshes;
       ls.retention_weak_cells = eval_injectors[l].retention_candidate_count();
+      if (ecc_on) {
+        const error::EccScheme& scheme = *ecc_ladder[scheme_idx[l]];
+        ls.ecc_scheme = scheme.name();
+        ls.ecc_escalated = scheme_idx[l] > 0;
+        ls.ecc_overhead = scheme.storage_overhead();
+        ls.ecc_codewords = scrub_totals[l].codewords;
+        ls.ecc_corrected = scrub_totals[l].corrected;
+        ls.ecc_detected = scrub_totals[l].detected;
+        ls.ecc_energy_nj = te.energy.ecc_nj;
+        row.ecc_codewords += ls.ecc_codewords;
+        row.ecc_corrected += ls.ecc_corrected;
+        row.ecc_detected += ls.ecc_detected;
+      }
       row.refreshes += ls.refreshes;
       row.retention_weak_cells += ls.retention_weak_cells;
       row.energy_nj += ls.energy_nj;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/fault_aware.hpp"
@@ -48,6 +49,16 @@ struct PipelineConfig {
   dram::RefreshPolicy refresh;
   error::ErrorModelSpec error_model;  ///< Model-0 by default (paper §III);
                                       ///< carries the retention spec
+  /// ECC axis (third approximation knob). Disabled by default, which keeps
+  /// the unprotected path bit for bit. When enabled, each layer's weights
+  /// are codeword-protected: injection is raw (no load-time clip before the
+  /// decoder), the scrub corrects/flags codewords against check words from
+  /// the clean weights, and the check storage + per-codeword decode
+  /// latency/energy feed the placement, the controller timeline, and the
+  /// energy breakdown. A layer whose BER_th the operating point exceeds
+  /// escalates along error::ecc_escalation_ladder instead of immediately
+  /// relaxing placement capacity.
+  error::EccSpec ecc;
   std::uint64_t seed = 42;
   /// Lognormal spread of per-subarray error rates.
   double subarray_sigma = 0.8;
@@ -74,6 +85,15 @@ struct LayerVoltageStats {
   double row_hit_rate = 0.0;
   std::uint64_t refreshes = 0;
   std::size_t retention_weak_cells = 0;
+  // ECC axis (meaningful only when PipelineConfig::ecc is enabled; all
+  // zero/empty otherwise so non-ecc reports and digests are unchanged).
+  std::string ecc_scheme;          ///< assigned scheme name, e.g. "bch(79,64)"
+  bool ecc_escalated = false;      ///< stronger than the configured base code
+  double ecc_overhead = 0.0;       ///< check bits per data bit
+  std::uint64_t ecc_codewords = 0; ///< codewords scrubbed across MC trials
+  std::uint64_t ecc_corrected = 0; ///< codewords fully restored
+  std::uint64_t ecc_detected = 0;  ///< codewords flagged uncorrectable
+  double ecc_energy_nj = 0.0;      ///< decode energy of one weight stream
 };
 
 /// Per-voltage evaluation row (one bar group of Fig. 12a / 12b).
@@ -91,6 +111,10 @@ struct VoltageReport {
   /// Retention-failure weak cells in the mapped payload (0 unless the
   /// refresh policy is simulated with a retention-enabled error model).
   std::size_t retention_weak_cells = 0;
+  // ECC scrub aggregates over all layers (zero when the ecc axis is off).
+  std::uint64_t ecc_codewords = 0;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
   /// One entry per network layer (size n_layers; a single-layer stack has
   /// one entry that mirrors the top-level fields). For deep stacks the
   /// top-level energy_nj/refreshes/retention_weak_cells are the sums over
@@ -182,11 +206,26 @@ struct TraceEnergy {
   dram::TraceStats stats;
   energy::EnergyBreakdown energy;
 };
+
+/// ECC cost of one layer's weight stream: the scrub engine decodes every
+/// fetched codeword, extending the access timeline (background energy
+/// accrues over the added decode time, and the speedup vs the accurate
+/// baseline reflects it) and drawing decode energy on the fixed logic rail
+/// (EnergyBreakdown::ecc_nj). Stream the CHECK bits too by passing the
+/// stored (payload + check equivalent) weight count to
+/// weight_stream_energy — that is the redundancy-read bandwidth cost.
+struct EccStreamOverhead {
+  std::size_t codewords = 0;
+  double decode_ns_per_codeword = 0.0;
+  double decode_nj_per_codeword = 0.0;
+};
+
 [[nodiscard]] TraceEnergy weight_stream_energy(
     const dram::Geometry& geometry, const error::ChunkPlacement& placement,
     std::size_t n_weights, double v_supply,
     const energy::VoltageModel& vm = energy::VoltageModel{},
     const energy::PowerModel& pm = energy::PowerModel{}, bool salp = false,
-    const dram::RefreshPolicy& refresh = dram::RefreshPolicy::disabled());
+    const dram::RefreshPolicy& refresh = dram::RefreshPolicy::disabled(),
+    const EccStreamOverhead* ecc = nullptr);
 
 }  // namespace sparkxd::core

@@ -29,10 +29,12 @@ struct EnergyBreakdown {
   double io_nj = 0.0;     ///< output-driver energy (voltage-independent)
   double background_nj = 0.0;
   double refresh_nj = 0.0;  ///< periodic REF commands over the makespan
+  double ecc_nj = 0.0;      ///< ECC decode logic per fetched codeword
+                            ///< (fixed logic rail, like io_nj)
 
   [[nodiscard]] double total_nj() const noexcept {
     return act_nj + pre_nj + read_nj + write_nj + io_nj + background_nj +
-           refresh_nj;
+           refresh_nj + ecc_nj;
   }
 };
 

@@ -185,6 +185,7 @@ ErrorInjector ErrorInjector::for_weights(const dram::Geometry& geometry,
 }
 
 void sanitize_weight(float& w, const SanitizeRange& r) noexcept {
+  if (!r.clamp) return;
   if (std::isnan(w)) {
     w = r.lo;
     return;

@@ -63,6 +63,17 @@ using ChunkPlacement = std::vector<dram::Address>;
 struct SanitizeRange {
   float lo = 0.0f;
   float hi = 1.0f;
+  /// When false, sanitization is a no-op: injection leaves the raw flipped
+  /// bit pattern in place (NaN/Inf preserved). The ECC evaluation path
+  /// needs this — the decoder must see exactly the stored bits; the range
+  /// clip is applied afterwards, only to codewords the code could not
+  /// restore (error::ecc_scrub_codewords).
+  bool clamp = true;
+
+  /// The no-clamp mode used for ECC-protected injection.
+  [[nodiscard]] static constexpr SanitizeRange raw() noexcept {
+    return {0.0f, 0.0f, false};
+  }
 };
 
 /// Applies SanitizeRange to one corrupted weight (NaN -> lo, else clamp).

@@ -19,7 +19,7 @@ void require_named(const std::string& name, const char* axis) {
 
 std::size_t ScenarioMatrix::size() const noexcept {
   return tasks.size() * sizes.size() * geometries.size() *
-         error_models.size() * layer_stacks.size() *
+         error_models.size() * layer_stacks.size() * ecc_schemes.size() *
          refresh_policies.size() * voltage_grids.size() * seeds.size();
 }
 
@@ -29,6 +29,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   SPARKXD_REQUIRE(!geometries.empty(), "matrix geometry axis is empty");
   SPARKXD_REQUIRE(!error_models.empty(), "matrix error-model axis is empty");
   SPARKXD_REQUIRE(!layer_stacks.empty(), "matrix layer-stack axis is empty");
+  SPARKXD_REQUIRE(!ecc_schemes.empty(), "matrix ecc axis is empty");
   SPARKXD_REQUIRE(!refresh_policies.empty(),
                   "matrix refresh-policy axis is empty");
   SPARKXD_REQUIRE(!voltage_grids.empty(), "matrix voltage-grid axis is empty");
@@ -37,6 +38,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   for (const auto& g : geometries) require_named(g.name, "geometry");
   for (const auto& m : error_models) require_named(m.name, "error-model");
   for (const auto& ls : layer_stacks) require_named(ls.name, "layer-stack");
+  for (const auto& e : ecc_schemes) require_named(e.name, "ecc");
   for (const auto& r : refresh_policies) require_named(r.name, "refresh");
   for (const auto& v : voltage_grids) require_named(v.name, "voltage-grid");
 
@@ -47,13 +49,15 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
       for (const auto& geom : geometries)
         for (const auto& model : error_models)
           for (const auto& stack : layer_stacks)
-            for (const auto& refresh : refresh_policies)
-              for (const auto& grid : voltage_grids)
-                for (const auto seed : seeds) {
+            for (const auto& ecc : ecc_schemes)
+              for (const auto& refresh : refresh_policies)
+                for (const auto& grid : voltage_grids)
+                  for (const auto seed : seeds) {
                 Scenario s;
                 s.name = task_label(task) + "-" + size.name + "-" +
                          geom.name + "-" + model.name;
                 if (layer_stacks.size() > 1) s.name += "-" + stack.name;
+                if (ecc_schemes.size() > 1) s.name += "-" + ecc.name;
                 if (refresh_policies.size() > 1) s.name += "-" + refresh.name;
                 if (voltage_grids.size() > 1) s.name += "-" + grid.name;
                 if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
@@ -62,6 +66,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
                     std::to_string(size.n_neurons) + " neurons, " +
                     std::to_string(stack.hidden.size() + 1) + " layer(s), " +
                     geom.name + " DRAM, error model " + model.name +
+                    ", ecc " + error::ecc_label(ecc.spec) +
                     ", refresh " + refresh_label(refresh.policy);
                 s.task = task;
                 s.n_neurons = size.n_neurons;
@@ -75,6 +80,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
                 s.salp = geom.salp;
                 s.refresh = refresh.policy;
                 s.error_model = model.spec;
+                s.ecc = ecc.spec;
                 s.voltages = grid.voltages;
                 s.seed = seed;
                 s.validate();

@@ -45,6 +45,13 @@ struct RefreshSpec {
   dram::RefreshPolicy policy;
 };
 
+/// ECC axis value (the third approximation axis). The default disabled
+/// value keeps legacy matrices unchanged.
+struct EccAxis {
+  std::string name;  ///< e.g. "ecc-off", "ecc-secded", "ecc-bch512b"
+  error::EccSpec spec;
+};
+
 /// Layer-stack axis value (the `layers` axis): spiking hidden layer sizes
 /// between the input and the excitatory output layer, input side first.
 /// An empty list is the flat single-layer network of the paper.
@@ -62,18 +69,20 @@ struct VoltageGridSpec {
 
 /// Axis lists plus the shared knobs every expanded scenario inherits.
 /// expand() iterates tasks (outermost), sizes, geometries, error models,
-/// layer stacks, refresh policies, voltage grids, seeds (innermost) and
-/// names each cell "<task>-<size>-<geometry>-<model>", appending
-/// "-<layers>" when the layer-stack axis has more than one value,
-/// "-<refresh>" when the refresh axis does, "-<grid>" when the grid axis
-/// does, and "-s<seed>" when the seed axis does, so single-valued axes keep
-/// names short and multi-valued axes keep them unique.
+/// layer stacks, ecc schemes, refresh policies, voltage grids, seeds
+/// (innermost) and names each cell "<task>-<size>-<geometry>-<model>",
+/// appending "-<layers>" when the layer-stack axis has more than one value,
+/// "-<ecc>" when the ecc axis does, "-<refresh>" when the refresh axis
+/// does, "-<grid>" when the grid axis does, and "-s<seed>" when the seed
+/// axis does, so single-valued axes keep names short and multi-valued axes
+/// keep them unique.
 struct ScenarioMatrix {
   std::vector<data::Task> tasks = {data::Task::kDigits};
   std::vector<SizeSpec> sizes;
   std::vector<GeometrySpec> geometries;
   std::vector<ErrorModelAxis> error_models;
   std::vector<LayerStackSpec> layer_stacks = {LayerStackSpec{}};
+  std::vector<EccAxis> ecc_schemes = {{"ecc-off", error::EccSpec{}}};
   std::vector<RefreshSpec> refresh_policies = {
       {"ref-off", dram::RefreshPolicy::disabled()}};
   std::vector<VoltageGridSpec> voltage_grids = {VoltageGridSpec{}};

@@ -7,6 +7,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "data/dataset.hpp"
+#include "error/ecc_scheme.hpp"
 #include "error/error_model.hpp"
 
 namespace sparkxd::scenario {
@@ -60,6 +61,10 @@ void write_config(json::Writer& w, const Scenario& s) {
   w.field("mode", dram::to_string(s.refresh.mode));
   w.field("interval_multiplier", s.refresh.effective_multiplier());
   w.end_object();
+  w.key("ecc").begin_object();
+  w.field("scheme", error::to_string(s.ecc.kind));
+  w.field("data_bits", static_cast<std::uint64_t>(s.ecc.data_bits));
+  w.end_object();
   w.key("voltages").begin_array();
   for (const double v : s.voltages) w.value(v);
   w.end_array();
@@ -69,9 +74,11 @@ void write_config(json::Writer& w, const Scenario& s) {
 
 void write_report(json::Writer& w, const Scenario& s,
                   const core::PipelineReport& r) {
-  // Per-layer report blocks are emitted only for deep stacks, so every
-  // pre-layer-stack report (and its byte layout) is unchanged.
+  // Per-layer report blocks are emitted only for deep stacks, and ECC
+  // blocks only for ecc-enabled scenarios, so every pre-existing report
+  // (and its byte layout) is unchanged.
   const bool deep = !s.hidden_neurons.empty();
+  const bool ecc_on = s.ecc.enabled();
   w.key("report").begin_object();
   w.field("baseline_accuracy", r.baseline_accuracy);
   w.field("improved_accuracy", r.improved_accuracy);
@@ -124,6 +131,25 @@ void write_report(json::Writer& w, const Scenario& s,
     w.field("capacity_relaxed", v.capacity_relaxed);
     w.field("refreshes", v.refreshes);
     w.field("retention_weak_cells", v.retention_weak_cells);
+    if (ecc_on) {
+      w.field("ecc_codewords", v.ecc_codewords);
+      w.field("ecc_corrected", v.ecc_corrected);
+      w.field("ecc_detected", v.ecc_detected);
+      // Per-layer scheme assignment + scrub accounting at this voltage.
+      w.key("ecc_layers").begin_array();
+      for (const auto& ls : v.layers) {
+        w.begin_object();
+        w.field("scheme", ls.ecc_scheme);
+        w.field("escalated", ls.ecc_escalated);
+        w.field("storage_overhead", ls.ecc_overhead);
+        w.field("codewords", ls.ecc_codewords);
+        w.field("corrected", ls.ecc_corrected);
+        w.field("detected", ls.ecc_detected);
+        w.field("decode_energy_nj", ls.ecc_energy_nj);
+        w.end_object();
+      }
+      w.end_array();
+    }
     if (deep) {
       // Per-layer placement + accounting at this voltage.
       w.key("layers").begin_array();
@@ -182,14 +208,17 @@ std::string to_json(const std::vector<ScenarioResult>& results) {
 std::string digest(const ScenarioResult& result) {
   const auto& r = result.report;
   // Refresh-axis fields are emitted only for scenarios that simulate
-  // refresh, and per-layer fields only for deep stacks, so every
-  // pre-existing digest stays byte-identical.
+  // refresh, per-layer fields only for deep stacks, and ECC fields only
+  // for ecc-enabled scenarios, so every pre-existing digest stays
+  // byte-identical.
   const bool refresh_on = result.scenario.refresh.simulated();
   const bool deep = !result.scenario.hidden_neurons.empty();
+  const bool ecc_on = result.scenario.ecc.enabled();
   std::string d;
   d += "scenario=" + result.scenario.name + "\n";
   if (refresh_on)
     d += "refresh=" + refresh_label(result.scenario.refresh) + "\n";
+  if (ecc_on) d += "ecc=" + error::ecc_label(result.scenario.ecc) + "\n";
   if (deep) {
     d += "layers=" + std::to_string(result.scenario.hidden_neurons.size() + 1);
     d += "\n";
@@ -222,6 +251,11 @@ std::string digest(const ScenarioResult& result) {
       d += " ref=" + std::to_string(v.refreshes);
       d += " retweak=" + std::to_string(v.retention_weak_cells);
     }
+    if (ecc_on) {
+      d += " ecccw=" + std::to_string(v.ecc_codewords);
+      d += " ecccorr=" + std::to_string(v.ecc_corrected);
+      d += " eccdet=" + std::to_string(v.ecc_detected);
+    }
     d += "\n";
     if (deep) {
       // Per-layer placement + accounting under the voltage line it
@@ -239,6 +273,22 @@ std::string digest(const ScenarioResult& result) {
           d += " ref=" + std::to_string(ls.refreshes);
           d += " retweak=" + std::to_string(ls.retention_weak_cells);
         }
+        d += "\n";
+      }
+    }
+    if (ecc_on) {
+      // Per-layer scheme assignment + scrub accounting under the voltage
+      // line it belongs to (emitted for flat nets too: the ECC axis makes
+      // layer 0's escalation decision part of the locked contract).
+      for (std::size_t l = 0; l < v.layers.size(); ++l) {
+        const auto& ls = v.layers[l];
+        d += "  E" + std::to_string(l);
+        d += " scheme=" + ls.ecc_scheme;
+        d += std::string(" esc=") + (ls.ecc_escalated ? "1" : "0");
+        d += " cw=" + std::to_string(ls.ecc_codewords);
+        d += " corr=" + std::to_string(ls.ecc_corrected);
+        d += " det=" + std::to_string(ls.ecc_detected);
+        d += " decode_nj=" + sci(6, ls.ecc_energy_nj);
         d += "\n";
       }
     }

@@ -27,6 +27,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
     cfg.error_model.retention.interval_multiplier =
         refresh.effective_multiplier();
   }
+  cfg.ecc = ecc;
   cfg.voltages = voltages;
   cfg.seed = seed;
   return cfg;
@@ -146,6 +147,19 @@ Scenario smoke_digits_deep() {
   return s;
 }
 
+/// Golden-locked ECC-axis smoke run: SECDED(72,64) over the same tiny
+/// digits workload — raw injection + codeword scrub, BCH escalation at the
+/// aggressive voltages, check-bit streaming, and the ecc digest fields.
+Scenario smoke_digits_ecc() {
+  Scenario s = smoke_digits_m0();
+  s.name = "smoke-digits-ecc";
+  s.description =
+      "tiny digits net, commodity DRAM, Model-0, SECDED ECC — "
+      "golden-locked ecc-axis smoke run";
+  s.ecc = {error::EccKind::kSecded, 64, 0};
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   all.push_back(smoke_digits_m0());
@@ -153,6 +167,7 @@ std::vector<Scenario> build_registry() {
   all.push_back(smoke_digits_m0_refresh());
   all.push_back(smoke_fashion_salp_m1_refresh());
   all.push_back(smoke_digits_deep());
+  all.push_back(smoke_digits_ecc());
 
   const SizeSpec small{"small", 64, 250, 100, 1};
   const SizeSpec medium{"medium", 100, 400, 150, 2};
@@ -221,6 +236,38 @@ std::vector<Scenario> build_registry() {
       {"relaxed-refresh-8x", dram::RefreshPolicy::reduced(8.0)},
       {"relaxed-refresh-32x", dram::RefreshPolicy::reduced(32.0)}};
   for (auto& s : refresh_grid.expand()) all.push_back(std::move(s));
+
+  // ECC grid: the third approximation axis on the small digits net — every
+  // registered scheme kind at the classic 64-bit codeword plus the 512 B
+  // large-codeword BCH mode (5 scenarios, e.g.
+  // "digits-small-commodity-m0-ecc-bch").
+  ScenarioMatrix ecc_grid;
+  ecc_grid.tasks = {data::Task::kDigits};
+  ecc_grid.sizes = {small};
+  ecc_grid.geometries = {commodity};
+  ecc_grid.error_models = {
+      {"m0", model_spec(error::ErrorModelKind::kModel0Uniform)}};
+  ecc_grid.ecc_schemes = {
+      {"ecc-parity", {error::EccKind::kParity, 64, 0}},
+      {"ecc-secded", {error::EccKind::kSecded, 64, 0}},
+      {"ecc-hsiao", {error::EccKind::kHsiao, 64, 0}},
+      {"ecc-bch", {error::EccKind::kBch, 64, 0}},
+      {"ecc-bch512b", {error::EccKind::kBch, 4096, 0}}};
+  for (auto& s : ecc_grid.expand()) all.push_back(std::move(s));
+
+  // ECC × SALP/Model-1 cross: the scrub path composing with the bitline
+  // stripe model and subarray-parallel timing, including the 4 KB
+  // large-codeword mode (2 scenarios).
+  ScenarioMatrix ecc_salp;
+  ecc_salp.tasks = {data::Task::kFashion};
+  ecc_salp.sizes = {small};
+  ecc_salp.geometries = {salp};
+  ecc_salp.error_models = {
+      {"m1", model_spec(error::ErrorModelKind::kModel1Bitline)}};
+  ecc_salp.ecc_schemes = {
+      {"ecc-secded", {error::EccKind::kSecded, 64, 0}},
+      {"ecc-bch4kb", {error::EccKind::kBch, 32768, 0}}};
+  for (auto& s : ecc_salp.expand()) all.push_back(std::move(s));
 
   for (const auto& s : all) s.validate();
   for (std::size_t i = 0; i < all.size(); ++i)

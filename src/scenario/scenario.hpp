@@ -53,6 +53,10 @@ struct Scenario {
   /// PipelineConfig, so timing, energy, and error injection stay coupled.
   dram::RefreshPolicy refresh;
   error::ErrorModelSpec error_model;
+  /// ECC axis: disabled (default, the unprotected legacy path) or one of
+  /// the pluggable schemes (parity/secded/hsiao/bch, optionally with a
+  /// large codeword). Lowered verbatim into PipelineConfig::ecc.
+  error::EccSpec ecc;
   /// Strictly descending supply-voltage grid (paper: 1.325 .. 1.025 V).
   std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
   std::uint64_t seed = 42;
@@ -68,13 +72,16 @@ struct Scenario {
 /// Names of the tiny scenarios whose digests live in tests/golden/.
 /// They finish in well under a second each, so tests and CI can afford to
 /// run them at several thread counts. The two `-refresh` entries lock down
-/// the refresh/retention axis (nominal cadence and 32x relaxed refresh).
+/// the refresh/retention axis (nominal cadence and 32x relaxed refresh);
+/// `smoke-digits-ecc` locks down the ECC axis (secded + escalation + scrub
+/// stats in the digest).
 inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-digits-m0",
     "smoke-fashion-salp-m1",
     "smoke-digits-m0-refresh",
     "smoke-fashion-salp-m1-refresh",
     "smoke-digits-deep",
+    "smoke-digits-ecc",
 };
 
 /// The built-in registry: ≥10 scenarios covering the evaluation grid, in a

@@ -51,6 +51,25 @@ TEST(CliTest, BadRefreshSpecExitsTwo) {
   EXPECT_NE(r.output.find("--refresh"), std::string::npos) << r.output;
 }
 
+TEST(CliTest, BadEccSpecExitsTwo) {
+  const auto r = run_cli("--scenario smoke-digits-m0 --ecc bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--ecc"), std::string::npos) << r.output;
+  // An infeasible shape (secded is the fixed 72,64 code) is rejected by the
+  // spec validation, same exit code.
+  const auto shape = run_cli("--scenario smoke-digits-m0 --ecc secded:128");
+  EXPECT_EQ(shape.exit_code, 2);
+  EXPECT_NE(shape.output.find("--ecc"), std::string::npos) << shape.output;
+}
+
+TEST(CliTest, EccOverrideRenamesAndShowsInList) {
+  const auto r = run_cli("--list --scenario smoke-digits-m0 --ecc bch:4096");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("smoke-digits-m0-ecc-bch4096b"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[ecc override]"), std::string::npos) << r.output;
+}
+
 TEST(CliTest, UnknownOptionExitsTwo) {
   const auto r = run_cli("--frobnicate");
   EXPECT_EQ(r.exit_code, 2);

@@ -152,7 +152,7 @@ TEST(Registry, FindAndMatch) {
   EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
   const auto smoke = match_scenarios("smoke");
-  EXPECT_EQ(smoke.size(), 5u);
+  EXPECT_EQ(smoke.size(), 6u);
   EXPECT_TRUE(match_scenarios("zzz").empty());
 }
 
@@ -218,6 +218,43 @@ TEST(Scenario, LoweringCouplesRefreshAndRetention) {
   const auto legacy_cfg = find_scenario("smoke-digits-m0")->pipeline_config();
   EXPECT_EQ(legacy_cfg.refresh.mode, dram::RefreshMode::kDisabled);
   EXPECT_FALSE(legacy_cfg.error_model.retention.enabled);
+}
+
+TEST(Registry, CoversTheEccAxis) {
+  // The ecc grids contribute every scheme kind (plus the 512 B and 4 KB
+  // large-codeword BCH modes on the SALP cell); pre-existing cells stay
+  // unprotected.
+  std::size_t off = 0, protected_count = 0;
+  std::set<error::EccKind> kinds;
+  std::set<std::size_t> sizes;
+  for (const auto& s : builtin_scenarios()) {
+    if (s.ecc.enabled()) {
+      ++protected_count;
+      kinds.insert(s.ecc.kind);
+      sizes.insert(s.ecc.data_bits);
+    } else {
+      ++off;
+    }
+  }
+  EXPECT_GE(off, 10u);
+  EXPECT_GE(protected_count, 7u);
+  EXPECT_EQ(kinds.size(), 4u);  // parity, secded, hsiao, bch
+  EXPECT_GE(sizes.size(), 2u);  // 64-bit and a large-codeword mode
+  ASSERT_NE(find_scenario("digits-small-commodity-m0-ecc-bch"), nullptr);
+  EXPECT_FALSE(match_scenarios("ecc-bch512b").empty());
+}
+
+TEST(Scenario, LoweringCarriesTheEccSpec) {
+  const auto* ecc = find_scenario("smoke-digits-ecc");
+  ASSERT_NE(ecc, nullptr);
+  EXPECT_EQ(ecc->ecc.kind, error::EccKind::kSecded);
+  const auto cfg = ecc->pipeline_config();
+  EXPECT_EQ(cfg.ecc.kind, error::EccKind::kSecded);
+  EXPECT_EQ(cfg.ecc.data_bits, 64u);
+
+  // Legacy scenarios lower with ECC disabled (the unprotected path).
+  const auto legacy_cfg = find_scenario("smoke-digits-m0")->pipeline_config();
+  EXPECT_FALSE(legacy_cfg.ecc.enabled());
 }
 
 TEST(Scenario, RefreshLabels) {
@@ -321,6 +358,28 @@ TEST(Matrix, RefreshAxisSuffixesNamesOnlyWhenMultiValued) {
   auto single = small_matrix();
   for (const auto& s : single.expand())
     EXPECT_EQ(s.name.find("ref"), std::string::npos) << s.name;
+}
+
+TEST(Matrix, EccAxisSuffixesNamesOnlyWhenMultiValued) {
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.ecc_schemes = {{"ecc-off", {}},
+                   {"ecc-secded", {error::EccKind::kSecded, 64, 0}},
+                   {"ecc-bch512b", {error::EccKind::kBch, 4096, 0}}};
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].name, "digits-tiny-commodity-m0-ecc-off");
+  EXPECT_EQ(scenarios[1].name, "digits-tiny-commodity-m0-ecc-secded");
+  EXPECT_EQ(scenarios[2].name, "digits-tiny-commodity-m0-ecc-bch512b");
+  EXPECT_FALSE(scenarios[0].ecc.enabled());
+  EXPECT_EQ(scenarios[1].ecc.kind, error::EccKind::kSecded);
+  EXPECT_EQ(scenarios[2].ecc.data_bits, 4096u);
+  EXPECT_NE(scenarios[2].description.find("ecc bch4096b"), std::string::npos);
+  // Single-valued ecc axis (the default) leaves names untouched.
+  for (const auto& s : small_matrix().expand())
+    EXPECT_EQ(s.name.find("ecc"), std::string::npos) << s.name;
 }
 
 TEST(Matrix, RejectsEmptyAxes) {
@@ -487,6 +546,51 @@ TEST(Runner, DigestEmitsRefreshFieldsOnlyForRefreshScenarios) {
   EXPECT_NE(relaxed.find("refresh=32x\n"), std::string::npos);
   EXPECT_NE(relaxed.find(" ref="), std::string::npos);
   EXPECT_NE(relaxed.find(" retweak="), std::string::npos);
+}
+
+TEST(Runner, DigestEmitsEccFieldsOnlyForEccScenarios) {
+  // Pre-ecc-axis digests must not change shape (the checked-in goldens
+  // depend on it); ecc scenarios gain the ecc= header, the per-voltage
+  // ecccw=/ecccorr=/eccdet= aggregates, and the per-layer E<n> lines.
+  const auto legacy = digest(golden_result(0));
+  EXPECT_EQ(legacy.find("ecc="), std::string::npos);
+  EXPECT_EQ(legacy.find(" ecccw="), std::string::npos);
+  EXPECT_EQ(legacy.find("\n  E0 "), std::string::npos);
+  const auto ecc = digest(golden_result(5));
+  EXPECT_NE(ecc.find("ecc=secded\n"), std::string::npos);
+  EXPECT_NE(ecc.find(" ecccw="), std::string::npos);
+  EXPECT_NE(ecc.find(" ecccorr="), std::string::npos);
+  EXPECT_NE(ecc.find("\n  E0 scheme=secded(72,64)"), std::string::npos);
+  EXPECT_NE(ecc.find(" decode_nj="), std::string::npos);
+
+  // The JSON gains the scheme/counters block for ecc scenarios only.
+  const auto json = to_json({golden_result(5)});
+  EXPECT_NE(json.find("\"ecc_layers\""), std::string::npos);
+  EXPECT_NE(json.find("\"ecc_corrected\""), std::string::npos);
+  EXPECT_EQ(to_json({golden_result(0)}).find("\"ecc_layers\""),
+            std::string::npos);
+}
+
+TEST(Runner, EccReportAggregatesThePerLayerScrubCounters) {
+  const auto& r = golden_result(5);
+  bool any_scrub = false;
+  for (const auto& v : r.report.per_voltage) {
+    ASSERT_EQ(v.layers.size(), 1u);  // flat smoke net
+    std::uint64_t cw = 0, corr = 0, det = 0;
+    for (const auto& ls : v.layers) {
+      EXPECT_EQ(ls.ecc_scheme, "secded(72,64)");
+      cw += ls.ecc_codewords;
+      corr += ls.ecc_corrected;
+      det += ls.ecc_detected;
+    }
+    EXPECT_EQ(cw, v.ecc_codewords);
+    EXPECT_EQ(corr, v.ecc_corrected);
+    EXPECT_EQ(det, v.ecc_detected);
+    any_scrub = any_scrub || cw > 0;
+  }
+  // At the lowest voltages the module BER is high enough that the scrub
+  // must actually have decoded dirty codewords.
+  EXPECT_TRUE(any_scrub);
 }
 
 TEST(Runner, WallClockTimingsNeverReachJsonOrDigest) {
