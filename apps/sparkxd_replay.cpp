@@ -178,10 +178,11 @@ int main(int argc, char** argv) {
     const double p99 = serve::percentile(latency, 99.0);
     std::fprintf(stderr,
                  "sparkxd_replay: %" PRIu64 " replies in %.3fs — %.0f req/s, "
-                 "latency p50=%.0fus p95=%.0fus p99=%.0fus; server "
+                 "latency p50=%.0fus p95=%.0fus p99=%.0fus, "
+                 "retries=%" PRIu64 "; server "
                  "served=%" PRIu64 " batches=%" PRIu64 " max_queue=%" PRIu64
                  "\n",
-                 stats.replies, wall_s, rps, p50, p95, p99,
+                 stats.replies, wall_s, rps, p50, p95, p99, stats.retries,
                  server_stats.served, server_stats.batches,
                  server_stats.max_queue_depth);
 
@@ -208,6 +209,7 @@ int main(int argc, char** argv) {
       w.field("p50_us", p50);
       w.field("p95_us", p95);
       w.field("p99_us", p99);
+      w.field("retries", static_cast<double>(stats.retries));
       w.field("served", static_cast<double>(server_stats.served));
       w.field("batches", static_cast<double>(server_stats.batches));
       w.field("max_queue_depth",

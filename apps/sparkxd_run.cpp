@@ -56,6 +56,11 @@ void print_usage(std::FILE* to) {
       "                     scenario: off, parity, secded, hsiao, or bch,\n"
       "                     optionally with a codeword payload size like\n"
       "                     bch:4096 (renames them with a -ecc-* suffix)\n"
+      "  --engine SPEC      override the inference engine of every selected\n"
+      "                     scenario: dense (bit-exact reference), event\n"
+      "                     (bitwise-identical, skips silent work), or\n"
+      "                     event-fx (fixed-point drive; renames them with\n"
+      "                     a -eng-* suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --export-artifact FILE\n"
@@ -215,6 +220,25 @@ std::string ecc_suffix(const sparkxd::error::EccSpec& spec) {
   return "-ecc-" + sparkxd::error::ecc_label(spec);
 }
 
+/// Parses an --engine SPEC: dense, event, or event-fx. Exits with usage
+/// code 2 on anything else.
+sparkxd::snn::EngineKind parse_engine_spec(const std::string& spec) {
+  using sparkxd::snn::EngineKind;
+  if (spec == "dense") return EngineKind::kDense;
+  if (spec == "event") return EngineKind::kEvent;
+  if (spec == "event-fx" || spec == "eventfx") return EngineKind::kEventFx;
+  std::fprintf(stderr,
+               "sparkxd_run: --engine wants dense, event, or event-fx "
+               "(got '%s')\n",
+               spec.c_str());
+  std::exit(2);
+}
+
+/// Scenario-name-safe suffix of an --engine override ("-eng-event").
+std::string engine_suffix(sparkxd::snn::EngineKind engine) {
+  return std::string("-eng-") + sparkxd::snn::to_string(engine);
+}
+
 /// Scenario-name-safe suffix of a --layers override ("-lflat", "-l64-32").
 std::string layers_suffix(const std::vector<std::size_t>& hidden) {
   if (hidden.empty()) return "-lflat";
@@ -244,6 +268,8 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> layers_override;
   bool override_ecc = false;
   error::EccSpec ecc_override;
+  bool override_engine = false;
+  snn::EngineKind engine_override = snn::EngineKind::kDense;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -278,6 +304,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--ecc") {
       ecc_override = parse_ecc_spec(next("--ecc"));
       override_ecc = true;
+    } else if (arg == "--engine") {
+      engine_override = parse_engine_spec(next("--engine"));
+      override_engine = true;
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--export-artifact") {
@@ -372,6 +401,13 @@ int main(int argc, char** argv) {
             s.ecc = ecc_override;
             s.name += ecc_suffix(ecc_override);
             s.description += " [ecc override]";
+          }
+        }
+        if (override_engine) {
+          for (auto& s : scenarios) {
+            s.engine = engine_override;
+            s.name += engine_suffix(engine_override);
+            s.description += " [engine override]";
           }
         }
       };

@@ -8,6 +8,7 @@
 //
 //   sparkxd_serve --artifact model.sxda [--port N] [--port-file FILE]
 //                 [--workers N] [--max-batch N] [--max-wait-us N]
+//                 [--max-queue N]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // resolved port as a single decimal line, which is how scripted callers
@@ -46,6 +47,9 @@ void print_usage(std::FILE* to) {
       "  --max-batch N      batch size ceiling (default 16)\n"
       "  --max-wait-us N    batching linger after the first queued request\n"
       "                     (default 200)\n"
+      "  --max-queue N      admission-queue bound; overflowing classify\n"
+      "                     requests get a kQueueFull reply instead of\n"
+      "                     growing memory (default 4096)\n"
       "  --help             this message\n"
       "\nSIGTERM/SIGINT drains admitted requests, answers them, and exits "
       "0.\n");
@@ -99,6 +103,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-wait-us") {
       config.max_wait_us = static_cast<std::uint64_t>(
           parse_count("--max-wait-us", next("--max-wait-us"), 0, 60'000'000));
+    } else if (arg == "--max-queue") {
+      config.max_queue = static_cast<std::size_t>(
+          parse_count("--max-queue", next("--max-queue"), 1, 1 << 24));
     } else {
       std::fprintf(stderr, "sparkxd_serve: unknown option '%s'\n",
                    arg.c_str());

@@ -52,7 +52,10 @@ double evaluate_corrupted(const snn::Network& net,
         // arrays); between trials only the recorded flips are reverted —
         // delta injection replaces the full per-trial snapshot restore.
         // The InferenceState (membrane/encoder scratch) is likewise built
-        // once per worker and reused across trials.
+        // once per worker and reused across trials. The copy carries the
+        // configured inference engine (dense/event/event-fx) along, so the
+        // whole Monte-Carlo fan-out runs whichever kernel the
+        // PipelineConfig selected.
         snn::Network scratch = net;
         scratch.sync_transpose();
         snn::InferenceState state(scratch);

@@ -69,6 +69,11 @@ void write_config(json::Writer& w, const Scenario& s) {
   for (const double v : s.voltages) w.value(v);
   w.end_array();
   w.field("seed", s.seed);
+  // Emitted only for non-default engines so every pre-event report keeps
+  // its byte layout (and the float event engine, which is bitwise-identical
+  // to dense, is still visible in the report when selected).
+  if (s.engine != snn::EngineKind::kDense)
+    w.field("engine", snn::to_string(s.engine));
   w.end_object();
 }
 
@@ -214,8 +219,13 @@ std::string digest(const ScenarioResult& result) {
   const bool refresh_on = result.scenario.refresh.simulated();
   const bool deep = !result.scenario.hidden_neurons.empty();
   const bool ecc_on = result.scenario.ecc.enabled();
+  // The engine header line follows the same gating: absent for the default
+  // dense engine, so pre-event digests stay byte-identical.
+  const bool engine_on = result.scenario.engine != snn::EngineKind::kDense;
   std::string d;
   d += "scenario=" + result.scenario.name + "\n";
+  if (engine_on)
+    d += std::string("engine=") + snn::to_string(result.scenario.engine) + "\n";
   if (refresh_on)
     d += "refresh=" + refresh_label(result.scenario.refresh) + "\n";
   if (ecc_on) d += "ecc=" + error::ecc_label(result.scenario.ecc) + "\n";

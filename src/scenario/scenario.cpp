@@ -30,6 +30,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
   cfg.ecc = ecc;
   cfg.voltages = voltages;
   cfg.seed = seed;
+  cfg.network.engine = engine;
   return cfg;
 }
 
@@ -160,6 +161,21 @@ Scenario smoke_digits_ecc() {
   return s;
 }
 
+/// Golden-locked fixed-point event-engine smoke run: the kEventFx kernel
+/// (bitset-mask gather + Q47.16 integer accumulation) over the same tiny
+/// digits workload. The float event engine is bitwise-identical to dense on
+/// every golden and needs no digest of its own; the fixed-point drive is
+/// numerically different, so this scenario pins it.
+Scenario smoke_digits_event_fx() {
+  Scenario s = smoke_digits_m0();
+  s.name = "smoke-digits-event-fx";
+  s.description =
+      "tiny digits net, commodity DRAM, Model-0, fixed-point event engine — "
+      "golden-locked smoke run";
+  s.engine = snn::EngineKind::kEventFx;
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   all.push_back(smoke_digits_m0());
@@ -168,6 +184,7 @@ std::vector<Scenario> build_registry() {
   all.push_back(smoke_fashion_salp_m1_refresh());
   all.push_back(smoke_digits_deep());
   all.push_back(smoke_digits_ecc());
+  all.push_back(smoke_digits_event_fx());
 
   const SizeSpec small{"small", 64, 250, 100, 1};
   const SizeSpec medium{"medium", 100, 400, 150, 2};

@@ -60,6 +60,11 @@ struct Scenario {
   /// Strictly descending supply-voltage grid (paper: 1.325 .. 1.025 V).
   std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
   std::uint64_t seed = 42;
+  /// Inference engine for every evaluation pass (training is always dense).
+  /// kDense is the bit-exact reference every pre-event golden was produced
+  /// by; kEvent is bitwise-identical to it; kEventFx is numerically
+  /// different (fixed-point drive) and golden-locked separately.
+  snn::EngineKind engine = snn::EngineKind::kDense;
 
   /// Lowers the scenario to the pipeline configuration it describes.
   [[nodiscard]] core::PipelineConfig pipeline_config() const;
@@ -74,7 +79,9 @@ struct Scenario {
 /// run them at several thread counts. The two `-refresh` entries lock down
 /// the refresh/retention axis (nominal cadence and 32x relaxed refresh);
 /// `smoke-digits-ecc` locks down the ECC axis (secded + escalation + scrub
-/// stats in the digest).
+/// stats in the digest); `smoke-digits-event-fx` locks down the fixed-point
+/// event engine (the float event engine needs no golden of its own — it is
+/// bitwise-identical to dense on all of these).
 inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-digits-m0",
     "smoke-fashion-salp-m1",
@@ -82,6 +89,7 @@ inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-fashion-salp-m1-refresh",
     "smoke-digits-deep",
     "smoke-digits-ecc",
+    "smoke-digits-event-fx",
 };
 
 /// The built-in registry: ≥10 scenarios covering the evaluation grid, in a

@@ -42,6 +42,7 @@ using Clock = std::chrono::steady_clock;
 struct ConnResult {
   std::vector<ClassifyReply> replies;
   std::vector<double> latency_us;
+  std::uint64_t retries = 0;
   bool server_gone = false;
 };
 
@@ -54,8 +55,29 @@ void drive_connection(const std::string& host, std::uint16_t port,
   std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
   std::vector<std::uint8_t> payload;
 
+  // Request i is a pure function of i, so a kQueueFull rejection is
+  // answered by rebuilding and re-sending the same frame.
+  const auto encode_request = [&](std::uint64_t id) {
+    ClassifyRequest request;
+    request.id = id;
+    request.seed = hash_combine(options.base_seed, id);
+    request.image = pool.images[id % pool.size()];
+    return encode_classify(request);
+  };
+
   const auto read_one = [&]() -> bool {
     if (!read_frame(fd, payload)) return false;
+    if (frame_type(payload) == MsgType::kQueueFull) {
+      // Overload backpressure: back off briefly, then retry the request.
+      // The in_flight timestamp is kept, so the measured latency honestly
+      // includes the rejected round trips.
+      const std::uint64_t id = decode_queue_full(payload);
+      SPARKXD_REQUIRE(in_flight.count(id) != 0,
+                      "server rejected a request this connection never sent");
+      ++out.retries;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return write_frame(fd, encode_request(id));
+    }
     ClassifyReply reply = decode_reply(payload);
     const auto sent = in_flight.find(reply.id);
     SPARKXD_REQUIRE(sent != in_flight.end(),
@@ -70,12 +92,8 @@ void drive_connection(const std::string& host, std::uint16_t port,
 
   for (std::size_t i = offset; i < options.requests;
        i += options.connections) {
-    ClassifyRequest request;
-    request.id = i;
-    request.seed = hash_combine(options.base_seed, i);
-    request.image = pool.images[i % pool.size()];
-    const auto frame = encode_classify(request);
-    in_flight.emplace(request.id, Clock::now());
+    const auto frame = encode_request(i);
+    in_flight.emplace(i, Clock::now());
     if (!write_frame(fd, frame)) {
       out.server_gone = true;
       break;
@@ -128,6 +146,7 @@ ReplayStats replay(const std::string& host, std::uint16_t port,
     replies.insert(replies.end(), r.replies.begin(), r.replies.end());
   }
   ReplayStats stats;
+  for (const auto& r : results) stats.retries += r.retries;
   stats.replies = replies.size();
   stats.digest = digest_replies(replies);
   stats.wall_ns = static_cast<std::uint64_t>(

@@ -32,7 +32,12 @@ struct ReplayStats {
   std::uint64_t replies = 0;
   std::uint64_t digest = 0;   ///< id-sorted FNV-1a over all replies
   std::uint64_t wall_ns = 0;  ///< first send to last reply
-  /// One entry per reply: send-to-reply microseconds (unsorted).
+  /// kQueueFull rejections that were re-sent until answered. Timing-
+  /// dependent (NOT part of the digest): every request still ends in
+  /// exactly one reply, so the digest stays replayable bit for bit.
+  std::uint64_t retries = 0;
+  /// One entry per reply: first-send-to-reply microseconds (unsorted);
+  /// retried requests include their queue-full round trips and backoff.
   std::vector<double> latency_us;
 };
 

@@ -13,6 +13,10 @@ Engine::Engine(const ServingArtifact& artifact)
       flips_(artifact.model.net.n_layers()) {
   artifact.validate();
   scratch_.sync_transpose();
+  // Serving always runs the event engine: bitwise-identical replies to the
+  // dense reference (replay digests unchanged) while real traffic — sparse
+  // rate-coded images — skips the silent waves.
+  scratch_.set_engine(snn::EngineKind::kEvent);
 }
 
 ClassifyReply Engine::classify(const ClassifyRequest& request) {

@@ -108,6 +108,22 @@ std::vector<std::uint8_t> encode_stats_reply(const ServerStats& stats) {
   return out;
 }
 
+std::vector<std::uint8_t> encode_queue_full(std::uint64_t id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8);
+  out.push_back(static_cast<std::uint8_t>(MsgType::kQueueFull));
+  put(out, id);
+  return out;
+}
+
+std::uint64_t decode_queue_full(const std::vector<std::uint8_t>& payload) {
+  require_type(payload, MsgType::kQueueFull);
+  std::size_t pos = 1;
+  const auto id = get<std::uint64_t>(payload, pos);
+  SPARKXD_REQUIRE(pos == payload.size(), "oversized queue-full payload");
+  return id;
+}
+
 ServerStats decode_stats_reply(const std::vector<std::uint8_t>& payload) {
   require_type(payload, MsgType::kStatsReply);
   std::size_t pos = 1;

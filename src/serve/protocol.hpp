@@ -13,6 +13,10 @@
 //               connection, bypassing the batch queue
 //   kStatsReply u64 served, u64 batches, u64 max_queue_depth,
 //               u32 n_hist, u64 hist[n_hist]  (hist[i] = batches of size i+1)
+//   kQueueFull  u64 id — overload backpressure: the admission queue was at
+//               its bound when this classify request arrived; the request
+//               was NOT processed (and never will be), the connection stays
+//               open, and the client may retry
 //
 // Encode/decode work on byte vectors (unit-testable without sockets);
 // read_frame/write_frame do the blocking fd I/O with full-length loops.
@@ -29,6 +33,7 @@ enum class MsgType : std::uint8_t {
   kReply = 2,
   kStats = 3,
   kStatsReply = 4,
+  kQueueFull = 5,
 };
 
 /// Upper bound on a frame payload; a length prefix beyond it is treated as
@@ -56,6 +61,7 @@ struct ServerStats {
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
     const ServerStats& stats);
+[[nodiscard]] std::vector<std::uint8_t> encode_queue_full(std::uint64_t id);
 
 /// Decoders throw ContractViolation on a wrong type byte or a malformed /
 /// short payload.
@@ -64,6 +70,9 @@ struct ServerStats {
 [[nodiscard]] ClassifyReply decode_reply(
     const std::vector<std::uint8_t>& payload);
 [[nodiscard]] ServerStats decode_stats_reply(
+    const std::vector<std::uint8_t>& payload);
+/// Returns the rejected request's id.
+[[nodiscard]] std::uint64_t decode_queue_full(
     const std::vector<std::uint8_t>& payload);
 
 /// Writes one frame (length prefix + payload) to `fd`, looping until all

@@ -20,6 +20,8 @@ Server::Server(const ServingArtifact& artifact, ServerConfig config)
     : artifact_(&artifact), config_(config) {
   SPARKXD_REQUIRE(config_.workers >= 1, "server needs at least one worker");
   SPARKXD_REQUIRE(config_.max_batch >= 1, "server batch ceiling must be >= 1");
+  SPARKXD_REQUIRE(config_.max_queue >= 1,
+                  "server admission-queue bound must be >= 1");
   artifact.validate();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -140,16 +142,29 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       if (type == MsgType::kClassify) {
         Job job{conn, decode_classify(payload)};
         std::size_t depth = 0;
+        bool admitted = false;
         {
           std::lock_guard<std::mutex> lock(queue_mu_);
-          queue_.push_back(std::move(job));
-          depth = queue_.size();
+          if (queue_.size() < config_.max_queue) {
+            queue_.push_back(std::move(job));
+            depth = queue_.size();
+            admitted = true;
+          }
         }
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          if (depth > max_queue_depth_) max_queue_depth_ = depth;
+        if (admitted) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            if (depth > max_queue_depth_) max_queue_depth_ = depth;
+          }
+          queue_cv_.notify_one();
+        } else {
+          // Backpressure: answer kQueueFull instead of growing the queue
+          // (or dropping the connection) — the request is rejected, the
+          // connection stays usable, the client may retry.
+          const auto frame = encode_queue_full(job.request.id);
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          if (!write_frame(conn->fd, frame)) break;
         }
-        queue_cv_.notify_one();
       } else if (type == MsgType::kStats) {
         const auto frame = encode_stats_reply(stats());
         std::lock_guard<std::mutex> lock(conn->write_mu);

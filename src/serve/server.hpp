@@ -4,9 +4,11 @@
 //
 // Thread layout:
 //   accept thread        blocks in accept(), spawns one reader per client
-//   reader threads       decode frames; kClassify jobs go to the queue,
-//                        kStats is answered inline (it must not queue
-//                        behind the work it is measuring)
+//   reader threads       decode frames; kClassify jobs go to the queue
+//                        (bounded by max_queue — overflow is answered with
+//                        kQueueFull instead of admitted), kStats is
+//                        answered inline (it must not queue behind the
+//                        work it is measuring)
 //   worker threads       each owns a serve::Engine; pops a batch (up to
 //                        max_batch jobs, waiting at most max_wait_us for
 //                        stragglers after the first), classifies, writes
@@ -40,6 +42,11 @@ struct ServerConfig {
   std::size_t workers = 1;      ///< engines (and threads) draining the queue
   std::size_t max_batch = 16;   ///< batch size ceiling
   std::uint64_t max_wait_us = 200;  ///< linger for stragglers after job #1
+  /// Admission-queue bound (backpressure): a classify frame arriving while
+  /// the queue already holds this many jobs is answered with kQueueFull
+  /// instead of being admitted — memory stays bounded under overload and
+  /// the connection survives so the client can retry.
+  std::size_t max_queue = 4096;
 };
 
 class Server {

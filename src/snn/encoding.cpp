@@ -13,8 +13,11 @@ void PoissonEncoder::set_image(const std::vector<float>& image) {
   active_idx_.clear();
   active_p_.clear();
   for (std::size_t i = 0; i < image.size(); ++i) {
+    // Validate BEFORE the activity filter: a negative or NaN pixel fails
+    // `> 0.0f` and used to slip through silently as "inactive".
+    SPARKXD_REQUIRE(image[i] >= 0.0f && image[i] <= 1.0f,
+                    "pixel intensities must be in [0,1]");
     if (image[i] > 0.0f) {
-      SPARKXD_REQUIRE(image[i] <= 1.0f, "pixel intensities must be in [0,1]");
       active_idx_.push_back(static_cast<std::uint32_t>(i));
       active_p_.push_back(image[i] * max_rate_);
     }

@@ -29,6 +29,13 @@ class PoissonEncoder {
   /// Expected number of input spikes per step for the current image.
   [[nodiscard]] double expected_spikes_per_step() const noexcept;
 
+  /// Number of pixels that can spike for the current image. Zero means
+  /// step() never draws from the Rng, which lets the event engine
+  /// short-circuit an all-zero sample without desynchronizing the stream.
+  [[nodiscard]] std::size_t active_pixels() const noexcept {
+    return active_idx_.size();
+  }
+
  private:
   float max_rate_;
   std::vector<std::uint32_t> active_idx_;  ///< pixels with non-zero intensity

@@ -32,6 +32,21 @@ void LifLayer::reset_all() {
   std::fill(theta_.begin(), theta_.end(), 0.0f);
 }
 
+bool LifLayer::silent_at_rest() const noexcept {
+  if (plastic_) return false;
+  for (const float th : theta_)
+    if (!(p_.v_rest < p_.v_thresh + th)) return false;
+  return true;
+}
+
+bool LifLayer::at_exact_rest() const noexcept {
+  for (const float v : v_)
+    if (v != p_.v_rest) return false;
+  for (const auto r : refractory_)
+    if (r != 0) return false;
+  return true;
+}
+
 void LifLayer::step(const std::vector<float>& input_current,
                     std::vector<std::uint32_t>& spikes_out) {
   SPARKXD_REQUIRE(input_current.size() == v_.size(),

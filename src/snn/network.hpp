@@ -48,6 +48,19 @@ class InferenceState {
  public:
   explicit InferenceState(const Network& net);
 
+  /// Recopies the LIF slices (potentials, refractory counters, thetas) from
+  /// the network — O(sum of layer neurons), no weight traffic. Network::infer
+  /// calls this automatically when the network's theta generation has moved
+  /// past the state's snapshot (e.g. the state was built before fault-aware
+  /// retraining), so a stale state can never silently infer with old
+  /// thresholds.
+  void resync(const Network& net);
+
+  /// Theta generation this state was last synced against.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
  private:
   friend class Network;
   /// One slice per layer of the stack (index matches Network layers).
@@ -55,10 +68,20 @@ class InferenceState {
     LifLayer lif;
     std::vector<float> current;
     std::vector<std::uint32_t> out_spikes;
+    // ---- Event-engine scratch (sized by resync; dense path ignores). ----
+    std::vector<std::uint64_t> in_mask;  ///< bitset over the layer's inputs
+    std::vector<std::int64_t> acc;       ///< Q47.16 accumulator (fx mode)
+    bool skip_ok = false;  ///< zero-input step provably identity at rest
+    /// LIF state exactly at rest: true from the per-sample reset until the
+    /// layer's first non-empty input wave (no mid-sample re-arm — float
+    /// decay cannot reach exact rest within a sample).
+    bool at_rest = true;
+    bool current_zero = false;  ///< `current` known all-zero (decay steps)
   };
   std::vector<LayerSlice> layers_;
   PoissonEncoder encoder_;
   std::vector<std::uint32_t> in_spikes_;
+  std::uint64_t generation_ = 0;
 };
 
 /// A complete network instance (per-layer weights + neuron state + encoder).
@@ -125,8 +148,24 @@ class Network {
     return layer(l).lif.thetas();
   }
   [[nodiscard]] std::vector<float>& thetas_mut(std::size_t l) {
+    // Mutable access presumes mutation: any InferenceState snapshotted
+    // before this call now holds stale thresholds and must resync.
+    ++theta_generation_;
     return layer(l).lif.thetas_mut();
   }
+
+  /// Monotone counter bumped whenever trained thresholds may have changed
+  /// (training passes, thetas_mut). InferenceState snapshots it; a mismatch
+  /// at infer() time triggers a cheap resync instead of silently inferring
+  /// with stale thetas.
+  [[nodiscard]] std::uint64_t theta_generation() const noexcept {
+    return theta_generation_;
+  }
+
+  /// Selects the inference engine for infer() (see EngineKind). Training
+  /// (process with learn=true) always runs the dense row-major kernel.
+  void set_engine(EngineKind engine) noexcept { cfg_.engine = engine; }
+  [[nodiscard]] EngineKind engine() const noexcept { return cfg_.engine; }
 
   // ---- Legacy single-layer aliases. ------------------------------------
   // The pre-stack API addressed THE layer; these forward to layer 0 and
@@ -171,7 +210,15 @@ class Network {
   /// Pure inference through a caller-owned InferenceState: identical spike
   /// counts and Rng consumption as process(image, /*learn=*/false, rng), but
   /// const on the network and reusing the state's buffers — the per-trial /
-  /// per-worker hot path. Requires synced transposes.
+  /// per-worker hot path. Requires synced transposes. Resyncs the state
+  /// first if the network's theta generation moved past its snapshot.
+  ///
+  /// config().engine picks the kernel: kDense is the transposed-gather
+  /// reference; kEvent walks per-timestep bitset spike masks and skips
+  /// empty waves against at-rest layers outright (bitwise-identical counts
+  /// and Rng consumption to kDense); kEventFx additionally accumulates the
+  /// synaptic drive in Q47.16 fixed point (order-independent, numerically
+  /// different from the float paths).
   std::vector<std::uint32_t> infer(InferenceState& state,
                                    const std::vector<float>& image,
                                    Rng& rng) const;
@@ -218,10 +265,17 @@ class Network {
     return 0;
   }
 
+  /// The two infer() kernels (common setup/validation lives in infer()).
+  void infer_dense(InferenceState& state, Rng& rng,
+                   std::vector<std::uint32_t>& counts) const;
+  void infer_event(InferenceState& state, Rng& rng,
+                   std::vector<std::uint32_t>& counts) const;
+
   NetworkConfig cfg_;
   std::vector<Layer> layers_;  ///< [0] = input side, back() = output layer
   PoissonEncoder encoder_;
   std::vector<std::uint32_t> in_spikes_;  ///< reused input-spike scratch
+  std::uint64_t theta_generation_ = 0;    ///< see theta_generation()
 };
 
 }  // namespace sparkxd::snn

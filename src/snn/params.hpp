@@ -17,6 +17,44 @@
 
 namespace sparkxd::snn {
 
+/// Inference-engine selector for Network::infer (training always runs the
+/// row-major kernel — STDP rewrites weight rows mid-sample).
+///
+///   kDense    the transposed-gather reference: every timestep integrates
+///             every layer. Bit-exact baseline; every pre-event golden
+///             digest was produced by this path.
+///   kEvent    event-driven: per-timestep spike waves carry a bitset mask
+///             next to the event list, the synaptic gather walks only the
+///             mask's set words, and a layer whose input wave is empty
+///             while its membrane state sits exactly at rest is skipped
+///             outright (no LIF integration). Bitwise-identical spike
+///             counts to kDense — skipping is only applied where a step is
+///             provably the identity, and the per-neuron float addition
+///             order is unchanged.
+///   kEventFx  the event engine with fixed-point synaptic accumulation:
+///             the gather quantizes weights to Q47.16 on the fly and sums
+///             in int64, making the per-neuron drive independent of
+///             addition order. Numerically different from the float path
+///             (locked by its own golden, smoke-digits-event-fx).
+enum class EngineKind : std::uint8_t {
+  kDense = 0,
+  kEvent = 1,
+  kEventFx = 2,
+};
+
+/// Stable axis label: "dense", "event", "event-fx".
+[[nodiscard]] constexpr const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kDense:
+      return "dense";
+    case EngineKind::kEvent:
+      return "event";
+    case EngineKind::kEventFx:
+      return "event-fx";
+  }
+  return "engine?";
+}
+
 /// Leaky integrate-and-fire neuron constants (paper §II-A, Fig. 4b).
 struct LifParams {
   float v_rest = 0.0f;     ///< resting potential (leak target)
@@ -95,6 +133,11 @@ struct NetworkConfig {
   /// constant while STDP redistributes weight mass).
   float norm_target = 11.0f;
   std::uint64_t seed = 1;  ///< weight-init / spike-train seed
+  /// Inference kernel for Network::infer (see EngineKind). Not part of the
+  /// serialized model (model_io writes config fields individually): the
+  /// engine is a runtime execution choice, not model identity — kDense and
+  /// kEvent produce bitwise-identical results from the same weights.
+  EngineKind engine = EngineKind::kDense;
   LifParams lif;
   StdpParams stdp;
 

@@ -152,7 +152,7 @@ TEST(Registry, FindAndMatch) {
   EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
   const auto smoke = match_scenarios("smoke");
-  EXPECT_EQ(smoke.size(), 6u);
+  EXPECT_EQ(smoke.size(), 7u);
   EXPECT_TRUE(match_scenarios("zzz").empty());
 }
 

@@ -56,8 +56,21 @@ TEST(ServeProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(frame_type(encode_stats_request()), MsgType::kStats);
 }
 
+TEST(ServeProtocolTest, QueueFullRoundTrip) {
+  const std::uint64_t id = 0xfeedfacecafebeefULL;
+  const auto payload = encode_queue_full(id);
+  EXPECT_EQ(frame_type(payload), MsgType::kQueueFull);
+  EXPECT_EQ(decode_queue_full(payload), id);
+}
+
 TEST(ServeProtocolTest, RejectsMalformedPayloads) {
   EXPECT_THROW((void)frame_type({}), ContractViolation);
+
+  auto queue_full = encode_queue_full(7);
+  EXPECT_THROW((void)decode_queue_full(encode_stats_request()),
+               ContractViolation);  // wrong type byte
+  queue_full.pop_back();
+  EXPECT_THROW((void)decode_queue_full(queue_full), ContractViolation);
 
   auto classify = encode_classify(sample_request());
   // Wrong type byte for the decoder.

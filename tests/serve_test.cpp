@@ -222,6 +222,91 @@ TEST_F(ServeTest, ServerDigestMatchesSerialAcrossConfigs) {
   }
 }
 
+TEST_F(ServeTest, BoundedQueueAnswersOverflowWithQueueFull) {
+  // One slow worker, batch size 1, a queue bound of 2 — then a flood of
+  // classify frames. Every frame must be answered exactly once: either a
+  // kReply that is bit-equal to the serial engine's, or a kQueueFull
+  // carrying the rejected id. The connection must survive the rejections.
+  constexpr std::size_t kRequests = 300;
+  ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.max_batch = 1;
+  server_config.max_queue = 2;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  const int fd = connect_to("127.0.0.1", server.port());
+  // Send everything before reading anything. Deadlock-free: every answer
+  // frame is <= 25 bytes on the wire, so all kRequests answers fit in the
+  // kernel socket buffers and the server's reader never stalls on a write.
+  for (std::size_t i = 0; i < kRequests; ++i)
+    ASSERT_TRUE(write_frame(fd, encode_classify(request(i))));
+
+  const auto expected = serial_replies(*artifact_, kRequests);
+  std::vector<bool> seen(kRequests, false);
+  std::size_t replies = 0, rejected = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    ASSERT_TRUE(read_frame(fd, payload)) << "frame " << k;
+    if (frame_type(payload) == MsgType::kQueueFull) {
+      const std::uint64_t id = decode_queue_full(payload);
+      ASSERT_LT(id, kRequests);
+      EXPECT_FALSE(seen[id]) << "id " << id << " answered twice";
+      seen[static_cast<std::size_t>(id)] = true;
+      ++rejected;
+    } else {
+      const auto reply = decode_reply(payload);
+      ASSERT_LT(reply.id, kRequests);
+      EXPECT_FALSE(seen[reply.id]) << "id " << reply.id << " answered twice";
+      seen[static_cast<std::size_t>(reply.id)] = true;
+      EXPECT_EQ(reply, expected[reply.id]) << "request " << reply.id;
+      ++replies;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(replies + rejected, kRequests);
+  EXPECT_GE(rejected, 1u) << "the flood never overflowed a queue of 2";
+  EXPECT_GE(replies, server_config.max_queue);
+
+  server.request_stop();
+  server.wait();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, replies);
+  EXPECT_LE(stats.max_queue_depth, server_config.max_queue);
+}
+
+TEST_F(ServeTest, ReplayClientRetriesQueueFullUntilAnswered) {
+  // Regression: the replay client used to abort on the first kQueueFull
+  // frame (decode_reply contract violation) instead of retrying. Against a
+  // deliberately tiny queue it must absorb the rejections, re-send until
+  // every request is answered, and land on the exact serial digest —
+  // backpressure is flow control, not data loss.
+  constexpr std::size_t kRequests = 64;
+  auto expected = serial_replies(*artifact_, kRequests);
+  const std::uint64_t expected_digest = digest_replies(expected);
+
+  ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.max_batch = 1;
+  server_config.max_queue = 2;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  ClientOptions options;
+  options.requests = kRequests;
+  options.connections = 2;
+  options.window = 16;  // 32 in flight against a queue of 2: must reject
+  options.base_seed = kBaseSeed;
+  const auto stats = replay("127.0.0.1", server.port(), *pool_, options);
+  EXPECT_EQ(stats.replies, kRequests);
+  EXPECT_EQ(stats.digest, expected_digest);
+  EXPECT_GE(stats.retries, 1u);
+
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.stats().served, kRequests);
+}
+
 TEST_F(ServeTest, ServerAnswersStatsAndSurvivesBadClients) {
   ServerConfig server_config;
   server_config.workers = 2;

@@ -120,5 +120,26 @@ TEST(PoissonEncoder, RejectsBadRatesAndIntensities) {
   EXPECT_THROW(enc.set_image({0.5f, 1.2f}), ContractViolation);
 }
 
+TEST(PoissonEncoder, RejectsNegativeAndNanIntensities) {
+  // Regression: the `> 0.0f` activity filter used to run before any
+  // validation, so negative and NaN pixels slipped through silently as
+  // "inactive" instead of failing the [0,1] domain contract.
+  PoissonEncoder enc(0.5f);
+  EXPECT_THROW(enc.set_image({0.5f, -0.1f}), ContractViolation);
+  EXPECT_THROW(enc.set_image({-1.0f}), ContractViolation);
+  EXPECT_THROW(enc.set_image({0.5f, std::nanf("")}), ContractViolation);
+  // A rejected image must not leave a partial active set behind.
+  enc.set_image({1.0f, 0.0f});
+  EXPECT_EQ(enc.active_pixels(), 1u);
+}
+
+TEST(PoissonEncoder, ActivePixelsCountsNonZeroIntensities) {
+  PoissonEncoder enc(0.5f);
+  enc.set_image({0.0f, 0.3f, 1.0f, 0.0f});
+  EXPECT_EQ(enc.active_pixels(), 2u);
+  enc.set_image(std::vector<float>(8, 0.0f));
+  EXPECT_EQ(enc.active_pixels(), 0u);
+}
+
 }  // namespace
 }  // namespace sparkxd::snn

@@ -240,6 +240,31 @@ TEST(Lif, RejectsBadConstruction) {
   EXPECT_THROW(LifLayer(1, inverted, 1.0f), ContractViolation);
 }
 
+TEST(Lif, RestPredicatesGateEventSkipping) {
+  // silent_at_rest: only when plasticity is frozen AND every threshold sits
+  // strictly above rest is a zero-input step provably the identity.
+  LifLayer layer(2, quiet_params(), 1.0f);
+  EXPECT_FALSE(layer.silent_at_rest());  // plastic by default
+  layer.set_plastic(false);
+  EXPECT_TRUE(layer.silent_at_rest());
+  auto degenerate = quiet_params();
+  degenerate.v_thresh = 0.0f;  // threshold AT rest: a rest neuron can fire
+  degenerate.v_reset = -1.0f;
+  LifLayer hair_trigger(1, degenerate, 1.0f);
+  hair_trigger.set_plastic(false);
+  EXPECT_FALSE(hair_trigger.silent_at_rest());
+
+  // at_exact_rest: construction and reset_dynamics are at rest; any drive
+  // (or the refractory tail after a spike) is not.
+  EXPECT_TRUE(layer.at_exact_rest());
+  std::vector<float> current{2.0f, 0.1f};
+  std::vector<std::uint32_t> spikes;
+  layer.step(current, spikes);
+  EXPECT_FALSE(layer.at_exact_rest());
+  layer.reset_dynamics();
+  EXPECT_TRUE(layer.at_exact_rest());
+}
+
 TEST(Lif, RejectsMismatchedCurrentWidth) {
   LifLayer layer(3, quiet_params(), 1.0f);
   std::vector<float> current(2, 0.0f);

@@ -229,6 +229,55 @@ TEST(Network, InferMatchesProcessBitwise) {
   }
 }
 
+TEST(Network, StaleInferenceStateResyncsAfterRetraining) {
+  // Regression: InferenceState snapshots the LIF thetas at construction.
+  // Before the generation counter a state built pre-(re)training silently
+  // kept inferring with the stale thresholds; now infer() notices the
+  // generation mismatch and resyncs the slices first.
+  const auto cfg = tiny_config();
+  Network net(cfg);
+  InferenceState stale(net);
+  EXPECT_EQ(stale.generation(), net.theta_generation());
+
+  Rng train_rng(2);
+  (void)net.process(bright_image(cfg.n_inputs), /*learn=*/true, train_rng);
+  net.sync_transpose();
+  EXPECT_GT(net.theta_generation(), stale.generation());
+
+  InferenceState fresh(net);
+  const auto img = bright_image(cfg.n_inputs, 0.5f);
+  Rng a(9), b(9);
+  EXPECT_EQ(net.infer(stale, img, a), net.infer(fresh, img, b));
+  EXPECT_EQ(stale.generation(), net.theta_generation());
+}
+
+TEST(Network, ThetaGenerationBumpsOnEveryMutationPath) {
+  Network net(tiny_config());
+  const auto g0 = net.theta_generation();
+  (void)net.thetas_mut();  // mutable access presumes mutation
+  EXPECT_EQ(net.theta_generation(), g0 + 1);
+  Rng rng(3);
+  (void)net.process(bright_image(net.config().n_inputs), /*learn=*/true, rng);
+  EXPECT_GT(net.theta_generation(), g0 + 1);
+  // Inference must not bump it (states stay valid across pure readouts).
+  net.sync_transpose();
+  InferenceState state(net);
+  const auto g1 = net.theta_generation();
+  Rng rng2(4);
+  (void)net.infer(state, bright_image(net.config().n_inputs, 0.3f), rng2);
+  EXPECT_EQ(net.theta_generation(), g1);
+  EXPECT_EQ(state.generation(), g1);
+}
+
+TEST(Network, ExplicitResyncRefreshesSnapshot) {
+  Network net(tiny_config());
+  InferenceState state(net);
+  net.thetas_mut()[0] += 0.5f;
+  EXPECT_NE(state.generation(), net.theta_generation());
+  state.resync(net);
+  EXPECT_EQ(state.generation(), net.theta_generation());
+}
+
 TEST(Network, InferLeavesNetworkUntouched) {
   const auto cfg = tiny_config();
   Network net(cfg);
