@@ -4,20 +4,29 @@
 // pipelined connections, and reports throughput + latency percentiles plus
 // the server's own counters. The id-sorted reply digest is a pure function
 // of (artifact, task, samples, seed, requests) — independent of
-// connections, windowing, server workers, and batching — so CI pins it as
-// a golden value to prove a deployment answers byte-for-byte.
+// connections, windowing, server workers, batching, AND of any injected
+// network faults (--chaos): the retry policy re-sends until every request
+// is answered exactly once, so CI pins the digest as a golden value to
+// prove a deployment answers byte-for-byte even under chaos.
 //
 //   sparkxd_replay --port N [--host IP] [--requests N] [--connections N]
 //                  [--window N] [--task digits|fashion] [--samples N]
-//                  [--seed N] [--json FILE] [--digest] [--stats]
+//                  [--seed N] [--crc] [--chaos SPEC] [--chaos-seed N]
+//                  [--json FILE] [--digest] [--stats]
 //
-// --port-file FILE reads the port sparkxd_serve wrote (see its --port-file).
+// --port-file FILE reads the port sparkxd_serve wrote (see its --port-file);
+// a missing or still-empty file is retried for a few seconds, so starting
+// the two processes concurrently does not race.
+// --chaos injects deterministic faults into this client's own sends —
+// torn/dripped/stalled/RST/bit-corrupted frames (grammar in
+// src/serve/chaos.hpp); corrupt requires --crc.
 // --digest prints "serve_digest=<hex16> replies=<n>" on stdout (the golden
 // line); everything human-oriented goes to stderr.
 // --json writes a "sparkxd-bench-v1" report (same schema as bench/).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 bad usage.
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +34,7 @@
 #include <exception>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/env.hpp"
 #include "common/json.hpp"
@@ -40,7 +50,8 @@ void print_usage(std::FILE* to) {
       "  --host IP          server address (default 127.0.0.1)\n"
       "  --port N           server port\n"
       "  --port-file FILE   read the port from FILE (sparkxd_serve "
-      "--port-file)\n"
+      "--port-file);\n"
+      "                     retried for up to 10s while missing or empty\n"
       "  --requests N       classify requests to send (default 1000)\n"
       "  --connections N    parallel connections (default 1)\n"
       "  --window N         max in-flight requests per connection "
@@ -50,6 +61,14 @@ void print_usage(std::FILE* to) {
       "  --samples N        image pool size (default 64)\n"
       "  --seed N           determinism root for pool + request seeds "
       "(default 7)\n"
+      "  --crc              negotiate protocol v2 (CRC32-framed) per "
+      "connection\n"
+      "  --chaos SPEC       inject faults into this client's sends; SPEC is\n"
+      "                     none | all[:P] | mode[:P](,mode[:P])* with mode\n"
+      "                     in torn|drip|stall|rst|corrupt (corrupt needs "
+      "--crc)\n"
+      "  --chaos-seed N     chaos schedule seed (default 0); same spec+seed\n"
+      "                     replays the same fault schedule bit for bit\n"
       "  --json FILE        write a sparkxd-bench-v1 JSON report to FILE\n"
       "  --digest           print the golden digest line on stdout\n"
       "  --help             this message\n");
@@ -66,6 +85,28 @@ long long parse_count(const char* what, const char* spec, long long lo,
     std::exit(2);
   }
   return v;
+}
+
+/// Reads the port from `path`, retrying while the file is missing or not
+/// yet (atomically) renamed into place. sparkxd_serve writes the file only
+/// after listen(), so a successfully read port is immediately connectable.
+long long read_port_file(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  const auto give_up = Clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    {
+      std::ifstream pf(path);
+      long long from_file = 0;
+      if (pf >> from_file && from_file >= 1 && from_file <= 65535)
+        return from_file;
+    }
+    if (Clock::now() >= give_up) {
+      std::fprintf(stderr, "sparkxd_replay: cannot read a port from '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 }  // namespace
@@ -126,6 +167,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       options.base_seed = static_cast<std::uint64_t>(
           parse_count("--seed", next("--seed"), 0, 1ll << 62));
+    } else if (arg == "--crc") {
+      options.crc = true;
+    } else if (arg == "--chaos") {
+      try {
+        options.chaos = serve::ChaosSpec::parse(next("--chaos"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sparkxd_replay: --chaos: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--chaos-seed") {
+      options.chaos_seed = static_cast<std::uint64_t>(
+          parse_count("--chaos-seed", next("--chaos-seed"), 0, 1ll << 62));
     } else if (arg == "--json") {
       json_path = next("--json");
     } else if (arg == "--digest") {
@@ -137,16 +190,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!port_file.empty()) {
-    std::ifstream pf(port_file);
-    long long from_file = 0;
-    if (!(pf >> from_file) || from_file < 1 || from_file > 65535) {
-      std::fprintf(stderr, "sparkxd_replay: cannot read a port from '%s'\n",
-                   port_file.c_str());
-      return 2;
-    }
-    port = from_file;
+  if (options.chaos.corrupt > 0.0 && !options.crc) {
+    std::fprintf(stderr,
+                 "sparkxd_replay: --chaos corrupt requires --crc (without "
+                 "the check the server would decode corrupted frames)\n");
+    return 2;
   }
+  if (!port_file.empty()) port = read_port_file(port_file);
   if (port < 0) {
     std::fprintf(stderr, "sparkxd_replay: --port or --port-file is required\n");
     print_usage(stderr);
@@ -160,9 +210,12 @@ int main(int argc, char** argv) {
     const auto pool = data::make_dataset(task, samples, options.base_seed);
     std::fprintf(stderr,
                  "sparkxd_replay: %zu requests over %zu connection(s) "
-                 "(window %zu, pool %s/%zu, seed %" PRIu64 ")\n",
+                 "(window %zu, pool %s/%zu, seed %" PRIu64 ", crc %s, "
+                 "chaos %s seed %" PRIu64 ")\n",
                  options.requests, options.connections, options.window,
-                 data::to_string(task), pool.size(), options.base_seed);
+                 data::to_string(task), pool.size(), options.base_seed,
+                 options.crc ? "on" : "off",
+                 options.chaos.to_string().c_str(), options.chaos_seed);
 
     auto stats = serve::replay(host, static_cast<std::uint16_t>(port), pool,
                                options);
@@ -179,12 +232,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sparkxd_replay: %" PRIu64 " replies in %.3fs — %.0f req/s, "
                  "latency p50=%.0fus p95=%.0fus p99=%.0fus, "
-                 "retries=%" PRIu64 "; server "
+                 "retries=%" PRIu64 " reconnects=%" PRIu64 " dup=%" PRIu64
+                 "; server "
                  "served=%" PRIu64 " batches=%" PRIu64 " max_queue=%" PRIu64
                  "\n",
                  stats.replies, wall_s, rps, p50, p95, p99, stats.retries,
-                 server_stats.served, server_stats.batches,
-                 server_stats.max_queue_depth);
+                 stats.reconnects, stats.duplicates, server_stats.served,
+                 server_stats.batches, server_stats.max_queue_depth);
+    if (options.chaos.any())
+      std::fprintf(stderr,
+                   "sparkxd_replay: chaos fired %" PRIu64
+                   " (torn=%" PRIu64 " drip=%" PRIu64 " stall=%" PRIu64
+                   " rst=%" PRIu64 " corrupt=%" PRIu64 "); server "
+                   "bad_frames=%" PRIu64 " evicted_slow=%" PRIu64
+                   " deadline_exceeded=%" PRIu64 " generation=%" PRIu64 "\n",
+                   stats.chaos.total(), stats.chaos.torn, stats.chaos.drip,
+                   stats.chaos.stall, stats.chaos.rst, stats.chaos.corrupt,
+                   server_stats.bad_frames, server_stats.evicted_slow,
+                   server_stats.deadline_exceeded, server_stats.generation);
 
     if (!json_path.empty()) {
       // Same layout as bench_common's BenchReport (schema
@@ -210,10 +275,22 @@ int main(int argc, char** argv) {
       w.field("p95_us", p95);
       w.field("p99_us", p99);
       w.field("retries", static_cast<double>(stats.retries));
+      w.field("reconnects", static_cast<double>(stats.reconnects));
+      w.field("duplicates", static_cast<double>(stats.duplicates));
+      w.field("chaos_faults", static_cast<double>(stats.chaos.total()));
       w.field("served", static_cast<double>(server_stats.served));
       w.field("batches", static_cast<double>(server_stats.batches));
       w.field("max_queue_depth",
               static_cast<double>(server_stats.max_queue_depth));
+      w.field("generation", static_cast<double>(server_stats.generation));
+      w.field("bad_frames", static_cast<double>(server_stats.bad_frames));
+      w.field("evicted_slow", static_cast<double>(server_stats.evicted_slow));
+      w.field("deadline_exceeded",
+              static_cast<double>(server_stats.deadline_exceeded));
+      w.field("rejected_conns",
+              static_cast<double>(server_stats.rejected_conns));
+      w.field("wedged_events",
+              static_cast<double>(server_stats.wedged_events));
       for (std::size_t b = 0; b < server_stats.batch_hist.size(); ++b)
         if (server_stats.batch_hist[b] != 0)
           w.field("batch_" + std::to_string(b + 1),

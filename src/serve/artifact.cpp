@@ -217,4 +217,9 @@ ServingArtifact load_artifact(const std::string& path) {
   return art;
 }
 
+std::shared_ptr<const ServingArtifact> load_artifact_shared(
+    const std::string& path) {
+  return std::make_shared<const ServingArtifact>(load_artifact(path));
+}
+
 }  // namespace sparkxd::serve

@@ -15,6 +15,7 @@
 // Export: `sparkxd_run --scenario NAME --export-artifact FILE`.
 // Serve:  `sparkxd_serve --artifact FILE`.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,5 +64,11 @@ void save_artifact(const ServingArtifact& artifact, const std::string& path);
 /// Loads an artifact written by save_artifact. Throws on I/O failure, bad
 /// magic/version, or a corrupt/truncated payload.
 [[nodiscard]] ServingArtifact load_artifact(const std::string& path);
+
+/// load_artifact into a refcounted handle — the form Server::reload() takes
+/// for hot reload, where a draining worker may keep the old generation alive
+/// after the swap.
+[[nodiscard]] std::shared_ptr<const ServingArtifact> load_artifact_shared(
+    const std::string& path);
 
 }  // namespace sparkxd::serve

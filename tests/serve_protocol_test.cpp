@@ -1,15 +1,20 @@
 // Tests for the serving wire protocol: encoder/decoder round trips,
-// malformed-payload rejection, and frame I/O over real fds.
+// malformed-payload rejection, CRC (v2) framing, hello negotiation,
+// mid-frame read deadlines, frame I/O over real fds, and a seeded fuzzer
+// that throws random bytes, truncations, and oversized length prefixes at
+// every decoder (ASan/UBSan in CI turn any over-read into a hard failure).
 
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "serve/protocol.hpp"
 
 namespace sparkxd::serve {
@@ -21,6 +26,21 @@ ClassifyRequest sample_request() {
   req.seed = 0xdeadbeefcafef00dULL;
   req.image = {0.0f, 0.25f, 0.5f, 1.0f};
   return req;
+}
+
+ServerStats sample_stats() {
+  ServerStats stats;
+  stats.served = 1000;
+  stats.batches = 131;
+  stats.max_queue_depth = 77;
+  stats.generation = 3;
+  stats.wedged_events = 1;
+  stats.deadline_exceeded = 12;
+  stats.bad_frames = 4;
+  stats.evicted_slow = 2;
+  stats.rejected_conns = 9;
+  stats.batch_hist = {10, 0, 5, 116};
+  return stats;
 }
 
 TEST(ServeProtocolTest, ClassifyRoundTrip) {
@@ -45,11 +65,7 @@ TEST(ServeProtocolTest, ReplyRoundTrip) {
 }
 
 TEST(ServeProtocolTest, StatsRoundTrip) {
-  ServerStats stats;
-  stats.served = 1000;
-  stats.batches = 131;
-  stats.max_queue_depth = 77;
-  stats.batch_hist = {10, 0, 5, 116};
+  const auto stats = sample_stats();
   const auto payload = encode_stats_reply(stats);
   EXPECT_EQ(frame_type(payload), MsgType::kStatsReply);
   EXPECT_EQ(decode_stats_reply(payload), stats);
@@ -61,6 +77,65 @@ TEST(ServeProtocolTest, QueueFullRoundTrip) {
   const auto payload = encode_queue_full(id);
   EXPECT_EQ(frame_type(payload), MsgType::kQueueFull);
   EXPECT_EQ(decode_queue_full(payload), id);
+}
+
+TEST(ServeProtocolTest, DeadlineExceededRoundTrip) {
+  const std::uint64_t id = 0x0123456789abcdefULL;
+  const auto payload = encode_deadline_exceeded(id);
+  EXPECT_EQ(frame_type(payload), MsgType::kDeadlineExceeded);
+  EXPECT_EQ(decode_deadline_exceeded(payload), id);
+  // The two rejection frames must not be confusable.
+  EXPECT_THROW((void)decode_queue_full(payload), ContractViolation);
+}
+
+TEST(ServeProtocolTest, BadFrameRoundTrip) {
+  const auto payload = encode_bad_frame();
+  EXPECT_EQ(frame_type(payload), MsgType::kBadFrame);
+}
+
+TEST(ServeProtocolTest, HelloRoundTrip) {
+  for (const bool crc : {false, true}) {
+    const Hello hello{crc ? kProtocolV2 : kProtocolV1, crc};
+    const auto payload = encode_hello(hello);
+    EXPECT_EQ(frame_type(payload), MsgType::kHello);
+    EXPECT_EQ(decode_hello(payload), hello);
+    const auto ack = encode_hello_ack(hello);
+    EXPECT_EQ(frame_type(ack), MsgType::kHelloAck);
+    EXPECT_EQ(decode_hello_ack(ack), hello);
+  }
+}
+
+TEST(ServeProtocolTest, HelloRejectsBadVersionAndFlags) {
+  // CRC flag requires protocol v2.
+  EXPECT_THROW((void)encode_hello(Hello{kProtocolV1, true}),
+               ContractViolation);
+  // Unknown version on the wire.
+  auto payload = encode_hello(Hello{kProtocolV2, true});
+  payload[1] = 99;
+  EXPECT_THROW((void)decode_hello(payload), ContractViolation);
+  // Unknown flag bits on the wire.
+  auto flags = encode_hello(Hello{kProtocolV2, true});
+  flags.back() = 0x80 | kHelloFlagCrc;
+  EXPECT_THROW((void)decode_hello(flags), ContractViolation);
+}
+
+TEST(ServeProtocolTest, Crc32KnownVector) {
+  // The classic check value: CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(ServeProtocolTest, FrameWireBytesCarryCrcTrailer) {
+  const auto payload = encode_queue_full(7);
+  const auto plain = frame_wire_bytes(payload, false);
+  const auto checked = frame_wire_bytes(payload, true);
+  EXPECT_EQ(plain.size(), 4 + payload.size());
+  EXPECT_EQ(checked.size(), 4 + payload.size() + 4);
+  // The CRC-mode length prefix covers payload + trailer.
+  std::uint32_t len = 0;
+  std::memcpy(&len, checked.data(), 4);
+  EXPECT_EQ(len, payload.size() + 4);
 }
 
 TEST(ServeProtocolTest, RejectsMalformedPayloads) {
@@ -84,9 +159,68 @@ TEST(ServeProtocolTest, RejectsMalformedPayloads) {
   reply.push_back(0);  // trailing garbage
   EXPECT_THROW((void)decode_reply(reply), ContractViolation);
 
-  auto stats = encode_stats_reply(ServerStats{1, 2, 3, {4, 5}});
+  auto stats = encode_stats_reply(sample_stats());
   stats.resize(stats.size() - 3);  // cut inside the histogram
   EXPECT_THROW((void)decode_stats_reply(stats), ContractViolation);
+}
+
+/// Seeded protocol fuzzer: every decoder must survive random bytes,
+/// truncations of valid frames, and byte-level mutations without crashing
+/// or over-reading — a malformed payload either decodes (when the mutation
+/// happens to keep it well-formed) or throws ContractViolation, nothing
+/// else. The sanitizer CI job runs this under ASan+UBSan, which promotes
+/// any out-of-bounds read in a decoder into a test failure.
+TEST(ServeProtocolTest, FuzzDecodersSurviveGarbage) {
+  Rng rng(0x5EEDF00DULL);
+  const auto poke_all = [](const std::vector<std::uint8_t>& p) {
+    const auto poke = [&p](auto&& decode) {
+      try {
+        (void)decode(p);
+      } catch (const ContractViolation&) {
+      }
+    };
+    poke([](const auto& x) { return frame_type(x); });
+    poke([](const auto& x) { return decode_classify(x); });
+    poke([](const auto& x) { return decode_reply(x); });
+    poke([](const auto& x) { return decode_stats_reply(x); });
+    poke([](const auto& x) { return decode_queue_full(x); });
+    poke([](const auto& x) { return decode_deadline_exceeded(x); });
+    poke([](const auto& x) { return decode_hello(x); });
+    poke([](const auto& x) { return decode_hello_ack(x); });
+  };
+
+  // Pure random payloads of random lengths (including empty).
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::uint8_t> payload(rng.index(64));
+    for (auto& b : payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    poke_all(payload);
+  }
+
+  // Truncations and single-byte mutations of every valid frame kind.
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      encode_classify(sample_request()),
+      encode_reply(ClassifyReply{3, 1, 9, 2}),
+      encode_stats_request(),
+      encode_stats_reply(sample_stats()),
+      encode_queue_full(11),
+      encode_deadline_exceeded(12),
+      encode_bad_frame(),
+      encode_hello(Hello{kProtocolV2, true}),
+      encode_hello_ack(Hello{kProtocolV1, false}),
+  };
+  for (const auto& seed : seeds) {
+    for (std::size_t cut = 0; cut <= seed.size(); ++cut)
+      poke_all({seed.begin(), seed.begin() + static_cast<std::ptrdiff_t>(cut)});
+    for (int i = 0; i < 100; ++i) {
+      auto mutated = seed;
+      if (!mutated.empty())
+        mutated[rng.index(mutated.size())] =
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      if (rng.bernoulli(0.3)) mutated.push_back(0xFF);  // trailing garbage
+      poke_all(mutated);
+    }
+  }
 }
 
 /// Frame I/O runs over a socketpair — the same fd type the server uses, so
@@ -151,6 +285,85 @@ TEST_F(ServeFrameIoTest, WriteToClosedPeerReturnsFalse) {
   ClassifyRequest req = sample_request();
   req.image.assign(1 << 20, 0.5f);
   EXPECT_FALSE(write_frame(fds_[0], encode_classify(req)));
+}
+
+TEST_F(ServeFrameIoTest, CrcFramesRoundTripAndDetectCorruption) {
+  const auto req = sample_request();
+  ASSERT_TRUE(write_frame(fds_[0], encode_classify(req), /*crc=*/true));
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{true, 0}),
+            ReadStatus::kFrame);
+  EXPECT_EQ(decode_classify(payload).image, req.image);
+
+  // Flip one payload bit on the wire: the reader must report kBadCrc, not
+  // hand the frame to a decoder.
+  auto wire = frame_wire_bytes(encode_classify(req), /*crc=*/true);
+  wire[5] ^= 0x01;
+  ASSERT_TRUE(send_bytes(fds_[0], wire.data(), wire.size()));
+  ASSERT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{true, 0}),
+            ReadStatus::kBadCrc);
+
+  // A flipped CRC-trailer bit is equally fatal.
+  wire = frame_wire_bytes(encode_classify(req), /*crc=*/true);
+  wire.back() ^= 0x80;
+  ASSERT_TRUE(send_bytes(fds_[0], wire.data(), wire.size()));
+  ASSERT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{true, 0}),
+            ReadStatus::kBadCrc);
+}
+
+TEST_F(ServeFrameIoTest, CrcModeRejectsFrameTooShortForTrailer) {
+  // len=2 cannot carry the 4-byte CRC trailer: hostile/corrupt stream.
+  const std::uint32_t len = 2;
+  ASSERT_EQ(::write(fds_[0], &len, sizeof(len)),
+            static_cast<::ssize_t>(sizeof(len)));
+  const std::uint8_t body[2] = {1, 2};
+  ASSERT_EQ(::write(fds_[0], body, sizeof(body)), 2);
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW((void)read_frame_ex(fds_[1], payload, FrameOptions{true, 0}),
+               ContractViolation);
+}
+
+TEST_F(ServeFrameIoTest, MidFrameDeadlineFiresOnlyAfterFirstByte) {
+  std::vector<std::uint8_t> payload;
+
+  // Torn frame: a few bytes, then silence. The mid-frame deadline must
+  // fire (kTimeout), not block forever.
+  const std::uint32_t len = 64;
+  ASSERT_EQ(::write(fds_[0], &len, sizeof(len)),
+            static_cast<::ssize_t>(sizeof(len)));
+  EXPECT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{false, 50}),
+            ReadStatus::kTimeout);
+}
+
+TEST_F(ServeFrameIoTest, IdleConnectionDoesNotTimeOut) {
+  // Nothing sent at all: an idle peer at a frame boundary must be waited
+  // for, not evicted. Write the frame from another thread after a delay
+  // longer than the mid-frame deadline.
+  std::thread writer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    (void)write_frame(fds_[0], encode_stats_request());
+  });
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{false, 50}),
+            ReadStatus::kFrame);
+  EXPECT_EQ(frame_type(payload), MsgType::kStats);
+  writer.join();
+}
+
+TEST_F(ServeFrameIoTest, DrippedFrameCompletesWithinDeadline) {
+  // A slow writer that stays under the deadline per chunk is fine.
+  const auto wire = frame_wire_bytes(encode_stats_request(), false);
+  std::thread writer([this, wire] {
+    for (const std::uint8_t b : wire) {
+      ASSERT_TRUE(send_bytes(fds_[0], &b, 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(read_frame_ex(fds_[1], payload, FrameOptions{false, 5000}),
+            ReadStatus::kFrame);
+  EXPECT_EQ(frame_type(payload), MsgType::kStats);
+  writer.join();
 }
 
 }  // namespace

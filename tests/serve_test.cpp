@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -305,6 +306,181 @@ TEST_F(ServeTest, ReplayClientRetriesQueueFullUntilAnswered) {
   server.request_stop();
   server.wait();
   EXPECT_EQ(server.stats().served, kRequests);
+}
+
+TEST_F(ServeTest, RequestDeadlineAnswersStaleJobsExactlyOnce) {
+  // One slow worker, batch size 1, and a 1us request deadline: almost every
+  // admitted request goes stale in the queue. Each one must still be
+  // answered exactly once — kDeadlineExceeded for the stale ones, a reply
+  // bit-equal to the serial engine's for the fresh ones.
+  constexpr std::size_t kRequests = 60;
+  ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.max_batch = 1;
+  server_config.request_deadline_us = 1;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  const int fd = connect_to("127.0.0.1", server.port());
+  for (std::size_t i = 0; i < kRequests; ++i)
+    ASSERT_TRUE(write_frame(fd, encode_classify(request(i))));
+
+  const auto expected = serial_replies(*artifact_, kRequests);
+  std::vector<bool> seen(kRequests, false);
+  std::size_t replies = 0, expired = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    ASSERT_TRUE(read_frame(fd, payload)) << "frame " << k;
+    std::uint64_t id;
+    if (frame_type(payload) == MsgType::kDeadlineExceeded) {
+      id = decode_deadline_exceeded(payload);
+      ++expired;
+    } else {
+      const auto reply = decode_reply(payload);
+      id = reply.id;
+      ASSERT_LT(id, kRequests);
+      EXPECT_EQ(reply, expected[id]) << "request " << id;
+      ++replies;
+    }
+    ASSERT_LT(id, kRequests);
+    EXPECT_FALSE(seen[id]) << "id " << id << " answered twice";
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  ::close(fd);
+  EXPECT_EQ(replies + expired, kRequests);
+  EXPECT_GE(expired, 1u) << "nothing went stale against a 1us deadline";
+
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.stats().deadline_exceeded, expired);
+  EXPECT_EQ(server.stats().served, replies);
+}
+
+TEST_F(ServeTest, MaxConnsShedsExcessAcceptsImmediately) {
+  ServerConfig server_config;
+  server_config.max_conns = 1;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  // First connection occupies the only slot (a served request proves the
+  // reader is registered, not just accepted).
+  const int fd = connect_to("127.0.0.1", server.port());
+  ASSERT_TRUE(write_frame(fd, encode_classify(request(0))));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(frame_type(payload), MsgType::kReply);
+
+  // Second connection is shed at accept: immediate close, no reply ever.
+  const int extra = connect_to("127.0.0.1", server.port());
+  EXPECT_FALSE(read_frame(extra, payload));
+  ::close(extra);
+
+  // Releasing the slot makes the next connection admissible again.
+  ::close(fd);
+  ClientOptions options;
+  options.requests = 4;
+  options.base_seed = kBaseSeed;
+  const auto stats = replay("127.0.0.1", server.port(), *pool_, options);
+  EXPECT_EQ(stats.replies, 4u);
+
+  server.request_stop();
+  server.wait();
+  EXPECT_GE(server.stats().rejected_conns, 1u);
+}
+
+TEST_F(ServeTest, WatchdogCountsWorkersStuckPastStallBound) {
+  // A 1ms stall bound against deliberately long batches (one worker, batch
+  // ceiling 128, a 256-request flood): the watchdog must observe at least
+  // one batch outliving the bound and count it, while the server keeps
+  // serving correctly.
+  constexpr std::size_t kRequests = 256;
+  ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.max_batch = 128;
+  server_config.max_wait_us = 2000;
+  server_config.watchdog_stall_ms = 1;
+  Server server(*artifact_, server_config);
+  server.start();
+
+  ClientOptions options;
+  options.requests = kRequests;
+  options.window = 256;
+  options.base_seed = kBaseSeed;
+  const auto stats = replay("127.0.0.1", server.port(), *pool_, options);
+  EXPECT_EQ(stats.replies, kRequests);
+
+  server.request_stop();
+  server.wait();
+  const auto server_stats = server.stats();
+  EXPECT_EQ(server_stats.served, kRequests);
+  EXPECT_GE(server_stats.wedged_events, 1u)
+      << "no batch outlived a 1ms stall bound";
+}
+
+TEST_F(ServeTest, HotReloadSwapsGenerationWithoutDroppingConnections) {
+  // Reload mid-replay: the generation bumps, in-flight requests finish on
+  // whichever generation their batch started with, and — because both
+  // generations here hold the same frozen state — the digest is the serial
+  // one. reconnects==0 proves no connection was dropped by the swap.
+  constexpr std::size_t kRequests = 200;
+  auto expected = serial_replies(*artifact_, kRequests);
+  const std::uint64_t expected_digest = digest_replies(expected);
+
+  const std::string path = ::testing::TempDir() + "serve_test_reload.sxda";
+  save_artifact(*artifact_, path);
+  ServerConfig server_config;
+  server_config.workers = 2;
+  Server server(load_artifact_shared(path), server_config);
+  server.start();
+  EXPECT_EQ(server.generation(), 1u);
+
+  ReplayStats stats;
+  std::thread replayer([&] {
+    ClientOptions options;
+    options.requests = kRequests;
+    options.connections = 2;
+    options.window = 8;
+    options.base_seed = kBaseSeed;
+    stats = replay("127.0.0.1", server.port(), *pool_, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.reload(load_artifact_shared(path));
+  replayer.join();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(server.generation(), 2u);
+  EXPECT_EQ(stats.replies, kRequests);
+  EXPECT_EQ(stats.digest, expected_digest);
+  EXPECT_EQ(stats.reconnects, 0u) << "reload dropped a connection";
+
+  // Replies keep flowing on the new generation, and stats report it.
+  ClientOptions after;
+  after.requests = 8;
+  after.base_seed = kBaseSeed;
+  EXPECT_EQ(replay("127.0.0.1", server.port(), *pool_, after).digest,
+            [&] {
+              auto first = serial_replies(*artifact_, 8);
+              return digest_replies(first);
+            }());
+  EXPECT_EQ(fetch_stats("127.0.0.1", server.port()).generation, 2u);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST_F(ServeTest, ReloadRejectsInvalidArtifactAndKeepsServing) {
+  ServerConfig server_config;
+  Server server(*artifact_, server_config);
+  server.start();
+  EXPECT_THROW(server.reload(nullptr), ContractViolation);
+  EXPECT_EQ(server.generation(), 1u);
+
+  ClientOptions options;
+  options.requests = 4;
+  options.base_seed = kBaseSeed;
+  EXPECT_EQ(replay("127.0.0.1", server.port(), *pool_, options).replies, 4u);
+  server.request_stop();
+  server.wait();
 }
 
 TEST_F(ServeTest, ServerAnswersStatsAndSurvivesBadClients) {
