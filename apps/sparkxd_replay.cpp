@@ -12,7 +12,7 @@
 //   sparkxd_replay --port N [--host IP] [--requests N] [--connections N]
 //                  [--window N] [--task digits|fashion] [--samples N]
 //                  [--seed N] [--crc] [--chaos SPEC] [--chaos-seed N]
-//                  [--json FILE] [--digest] [--stats]
+//                  [--json FILE] [--digest] [--allow-partial]
 //
 // --port-file FILE reads the port sparkxd_serve wrote (see its --port-file);
 // a missing or still-empty file is retried for a few seconds, so starting
@@ -38,6 +38,7 @@
 
 #include "common/env.hpp"
 #include "common/json.hpp"
+#include "common/stats.hpp"
 #include "data/dataset.hpp"
 #include "serve/client.hpp"
 
@@ -71,6 +72,9 @@ void print_usage(std::FILE* to) {
       "                     replays the same fault schedule bit for bit\n"
       "  --json FILE        write a sparkxd-bench-v1 JSON report to FILE\n"
       "  --digest           print the golden digest line on stdout\n"
+      "  --allow-partial    report partial results when a connection slot\n"
+      "                     exhausts its retry budget instead of failing;\n"
+      "                     a replay that served NOTHING still exits 1\n"
       "  --help             this message\n");
 }
 
@@ -183,6 +187,8 @@ int main(int argc, char** argv) {
       json_path = next("--json");
     } else if (arg == "--digest") {
       want_digest = true;
+    } else if (arg == "--allow-partial") {
+      options.allow_partial = true;
     } else {
       std::fprintf(stderr, "sparkxd_replay: unknown option '%s'\n",
                    arg.c_str());
@@ -219,16 +225,24 @@ int main(int argc, char** argv) {
 
     auto stats = serve::replay(host, static_cast<std::uint16_t>(port), pool,
                                options);
+    if (stats.replies == 0) {
+      // A replay that served nothing has no latency sample — reporting
+      // p99=0 would read as "infinitely fast" in a CI trend. Fail loudly
+      // (before fetch_stats: the server may well be the thing that died).
+      std::fprintf(stderr,
+                   "sparkxd_replay: zero replies served — no latency "
+                   "sample to report\n");
+      return 1;
+    }
     const auto server_stats =
         serve::fetch_stats(host, static_cast<std::uint16_t>(port));
 
     const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
     const double rps =
         wall_s > 0.0 ? static_cast<double>(stats.replies) / wall_s : 0.0;
-    auto latency = stats.latency_us;  // percentile() sorts in place
-    const double p50 = serve::percentile(latency, 50.0);
-    const double p95 = serve::percentile(latency, 95.0);
-    const double p99 = serve::percentile(latency, 99.0);
+    const double p50 = percentile(stats.latency_us, 50.0);
+    const double p95 = percentile(stats.latency_us, 95.0);
+    const double p99 = percentile(stats.latency_us, 99.0);
     std::fprintf(stderr,
                  "sparkxd_replay: %" PRIu64 " replies in %.3fs — %.0f req/s, "
                  "latency p50=%.0fus p95=%.0fus p99=%.0fus, "

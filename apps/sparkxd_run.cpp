@@ -61,6 +61,9 @@ void print_usage(std::FILE* to) {
       "                     (bitwise-identical, skips silent work), or\n"
       "                     event-fx (fixed-point drive; renames them with\n"
       "                     a -eng-* suffix)\n"
+      "  --layer-knobs      run the per-layer (voltage x refresh x ECC)\n"
+      "                     operating-point search on every selected\n"
+      "                     scenario (renames them with a -knobs suffix)\n"
       "  --threads N        worker threads (sets SPARKXD_THREADS)\n"
       "  --out FILE         write the JSON report to FILE ('-' = stdout)\n"
       "  --export-artifact FILE\n"
@@ -270,6 +273,7 @@ int main(int argc, char** argv) {
   error::EccSpec ecc_override;
   bool override_engine = false;
   snn::EngineKind engine_override = snn::EngineKind::kDense;
+  bool enable_layer_knobs = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -307,6 +311,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine") {
       engine_override = parse_engine_spec(next("--engine"));
       override_engine = true;
+    } else if (arg == "--layer-knobs") {
+      enable_layer_knobs = true;
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--export-artifact") {
@@ -408,6 +414,13 @@ int main(int argc, char** argv) {
             s.engine = engine_override;
             s.name += engine_suffix(engine_override);
             s.description += " [engine override]";
+          }
+        }
+        if (enable_layer_knobs) {
+          for (auto& s : scenarios) {
+            s.layer_knobs = true;
+            s.name += "-knobs";
+            s.description += " [layer-knobs override]";
           }
         }
       };

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/stats.hpp"
 #include "scenario/scenario.hpp"
 #include "serve/artifact.hpp"
 #include "serve/client.hpp"
@@ -85,10 +86,9 @@ int main(int argc, char** argv) {
     const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
     const double rps =
         wall_s > 0.0 ? static_cast<double>(stats.replies) / wall_s : 0.0;
-    auto latency = stats.latency_us;
-    const double p50 = serve::percentile(latency, 50.0);
-    const double p95 = serve::percentile(latency, 95.0);
-    const double p99 = serve::percentile(latency, 99.0);
+    const double p50 = percentile(stats.latency_us, 50.0);
+    const double p95 = percentile(stats.latency_us, 95.0);
+    const double p99 = percentile(stats.latency_us, 99.0);
 
     if (workers == worker_counts.front()) {
       reference_digest = stats.digest;

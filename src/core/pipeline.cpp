@@ -40,6 +40,7 @@ void PipelineConfig::validate() const {
   refresh.validate(dram::TimingParams::lpddr3_1600());
   error_model.retention.validate();
   ecc.validate();
+  layer_knobs.validate();
 }
 
 TraceEnergy weight_stream_energy(const dram::Geometry& geometry,
@@ -366,6 +367,26 @@ PipelineReport run_pipeline(const PipelineConfig& cfg,
                                 : 0.0;
     report.per_voltage[vi] = row;
   });
+
+  // --- Per-layer operating-point search (EnforceSNN/EDEN completion). ------
+  // A pure function of state the pipeline already computed (per-layer
+  // BER_th, the substrate models, the profile); consumes no Rng, so runs
+  // with the search off are bit-identical to legacy runs.
+  if (cfg.layer_knobs.enabled) {
+    LayerKnobsInputs in;
+    in.geometry = cfg.geometry;
+    in.profile = &profile;
+    in.error_model = cfg.error_model;
+    in.voltages = cfg.voltages;
+    in.ecc = cfg.ecc;
+    in.layer_ber_th = report.layer_ber_th;
+    in.layer_met_target.assign(report.layer_met_target.begin(),
+                               report.layer_met_target.end());
+    in.layer_weights = layer_weights;
+    in.salp = cfg.salp;
+    in.seed = cfg.seed;
+    report.layer_knobs = assign_layer_knobs(cfg.layer_knobs, in);
+  }
   const auto t_done = now();
   report.timings.sweep_ns = since(t_fault_trained, t_done);
   report.timings.total_ns = since(t_start, t_done);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/fault_aware.hpp"
+#include "core/layer_knobs.hpp"
 #include "dram/geometry.hpp"
 #include "energy/ber_model.hpp"
 #include "energy/power_model.hpp"
@@ -59,6 +60,13 @@ struct PipelineConfig {
   /// escalates along error::ecc_escalation_ladder instead of immediately
   /// relaxing placement capacity.
   error::EccSpec ecc;
+  /// Per-layer operating-point search (EnforceSNN/EDEN completion): when
+  /// enabled, run_pipeline additionally assigns each layer its own
+  /// (voltage, refresh, ECC) triple via assign_layer_knobs and reports the
+  /// result in PipelineReport::layer_knobs. Purely additive — the search
+  /// consumes no Rng and runs after the sweep, so every report field of a
+  /// knob-free run is bit-identical.
+  LayerKnobsConfig layer_knobs;
   std::uint64_t seed = 42;
   /// Lognormal spread of per-subarray error rates.
   double subarray_sigma = 0.8;
@@ -155,6 +163,9 @@ struct PipelineReport {
   double baseline_energy_nj = 0.0;  ///< accurate DRAM @1.35 V, baseline map
   double baseline_time_ns = 0.0;
   std::vector<VoltageReport> per_voltage;
+  /// Per-layer operating points (engaged when PipelineConfig::layer_knobs
+  /// is enabled; nullopt otherwise so legacy reports are untouched).
+  std::optional<LayerKnobsReport> layer_knobs;
   PhaseTimings timings;  ///< wall clock; not serialized, not digested
 };
 

@@ -53,6 +53,10 @@ struct TraceStats {
   std::uint64_t reads = 0;       ///< RD bursts
   std::uint64_t writes = 0;      ///< WR bursts
   std::uint64_t refreshes = 0;   ///< all-bank REF commands within the makespan
+  /// Per-region REF counts when the controller runs a RefreshRegions plan
+  /// (one entry per region, in plan order); empty in single-policy mode, so
+  /// existing reports and digests are untouched.
+  std::vector<std::uint64_t> region_refreshes;
   double total_time_ns = 0.0;    ///< makespan of the trace
 
   [[nodiscard]] double hit_rate() const noexcept {

@@ -46,6 +46,15 @@ EnergyBreakdown PowerModel::trace_energy(
   return e;
 }
 
+double PowerModel::region_refresh_energy_nj(std::uint64_t refreshes,
+                                            double row_fraction,
+                                            double v_supply) const {
+  SPARKXD_REQUIRE(row_fraction >= 0.0 && row_fraction <= 1.0,
+                  "region row fraction must lie in [0, 1]");
+  return static_cast<double>(refreshes) * p_.e_refresh_nj * row_fraction *
+         dynamic_scale(v_supply);
+}
+
 double PowerModel::access_energy_nj(dram::RowBufferOutcome outcome,
                                     double v_supply,
                                     const dram::TimingParams& timing) const {

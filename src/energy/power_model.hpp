@@ -78,6 +78,16 @@ class PowerModel {
       const dram::TraceStats& stats, double v_supply,
       const dram::RefreshPolicy& refresh) const;
 
+  /// Refresh charge of one region under per-region refresh: `refreshes` REF
+  /// commands (the controller's per-region count), each retiring only
+  /// `row_fraction` of the module's rows — an all-bank REF's charge scaled by
+  /// the fraction of rows actually refreshed, V^2-scaled like all array
+  /// work. Summing this over disjoint regions replaces the module-wide
+  /// refresh term for a per-layer operating-point evaluation.
+  [[nodiscard]] double region_refresh_energy_nj(std::uint64_t refreshes,
+                                                double row_fraction,
+                                                double v_supply) const;
+
   /// Energy of ONE access of the given row-buffer condition (Fig. 2b):
   /// command dynamic energy + I/O + background over the access latency
   /// implied by `timing` (pass voltage-derived timings for reduced-voltage

@@ -1,5 +1,7 @@
 #include "scenario/matrix.hpp"
 
+#include <unordered_map>
+
 #include "common/contracts.hpp"
 
 namespace sparkxd::scenario {
@@ -20,7 +22,8 @@ void require_named(const std::string& name, const char* axis) {
 std::size_t ScenarioMatrix::size() const noexcept {
   return tasks.size() * sizes.size() * geometries.size() *
          error_models.size() * layer_stacks.size() * ecc_schemes.size() *
-         refresh_policies.size() * voltage_grids.size() * seeds.size();
+         refresh_policies.size() * voltage_grids.size() *
+         knob_searches.size() * seeds.size();
 }
 
 std::vector<Scenario> ScenarioMatrix::expand() const {
@@ -41,9 +44,15 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
   for (const auto& e : ecc_schemes) require_named(e.name, "ecc");
   for (const auto& r : refresh_policies) require_named(r.name, "refresh");
   for (const auto& v : voltage_grids) require_named(v.name, "voltage-grid");
+  for (const auto& k : knob_searches) require_named(k.name, "knob-search");
 
   std::vector<Scenario> out;
   out.reserve(size());
+  // Name -> the axis tuple that produced it. Suffixes are appended only for
+  // multi-valued axes, so two different tuples CAN lower to the same name;
+  // that would silently shadow one of them in a registry — fail loudly with
+  // both tuples instead.
+  std::unordered_map<std::string, std::string> sources;
   for (const auto task : tasks)
     for (const auto& size : sizes)
       for (const auto& geom : geometries)
@@ -52,7 +61,8 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
             for (const auto& ecc : ecc_schemes)
               for (const auto& refresh : refresh_policies)
                 for (const auto& grid : voltage_grids)
-                  for (const auto seed : seeds) {
+                  for (const auto& knobs : knob_searches)
+                    for (const auto seed : seeds) {
                 Scenario s;
                 s.name = task_label(task) + "-" + size.name + "-" +
                          geom.name + "-" + model.name;
@@ -60,7 +70,20 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
                 if (ecc_schemes.size() > 1) s.name += "-" + ecc.name;
                 if (refresh_policies.size() > 1) s.name += "-" + refresh.name;
                 if (voltage_grids.size() > 1) s.name += "-" + grid.name;
+                if (knob_searches.size() > 1) s.name += "-" + knobs.name;
                 if (seeds.size() > 1) s.name += "-s" + std::to_string(seed);
+                const std::string tuple =
+                    "(task=" + task_label(task) + " size=" + size.name +
+                    " geometry=" + geom.name + " model=" + model.name +
+                    " layers=" + stack.name + " ecc=" + ecc.name +
+                    " refresh=" + refresh.name + " grid=" + grid.name +
+                    " knobs=" + knobs.name +
+                    " seed=" + std::to_string(seed) + ")";
+                const auto [it, inserted] = sources.emplace(s.name, tuple);
+                SPARKXD_REQUIRE(inserted,
+                                "scenario name collision: '" + s.name +
+                                    "' produced by both " + it->second +
+                                    " and " + tuple);
                 s.description =
                     task_label(task) + " task, " +
                     std::to_string(size.n_neurons) + " neurons, " +
@@ -82,6 +105,7 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
                 s.error_model = model.spec;
                 s.ecc = ecc.spec;
                 s.voltages = grid.voltages;
+                s.layer_knobs = knobs.enabled;
                 s.seed = seed;
                 s.validate();
                 out.push_back(std::move(s));

@@ -67,15 +67,23 @@ struct VoltageGridSpec {
   std::vector<double> voltages = {1.325, 1.250, 1.175, 1.100, 1.025};
 };
 
+/// Per-layer knob-search axis value (Scenario::layer_knobs). The default
+/// disabled value keeps legacy matrices unchanged.
+struct LayerKnobsAxis {
+  std::string name = "knobs-off";
+  bool enabled = false;
+};
+
 /// Axis lists plus the shared knobs every expanded scenario inherits.
 /// expand() iterates tasks (outermost), sizes, geometries, error models,
-/// layer stacks, ecc schemes, refresh policies, voltage grids, seeds
-/// (innermost) and names each cell "<task>-<size>-<geometry>-<model>",
-/// appending "-<layers>" when the layer-stack axis has more than one value,
-/// "-<ecc>" when the ecc axis does, "-<refresh>" when the refresh axis
-/// does, "-<grid>" when the grid axis does, and "-s<seed>" when the seed
-/// axis does, so single-valued axes keep names short and multi-valued axes
-/// keep them unique.
+/// layer stacks, ecc schemes, refresh policies, voltage grids, knob
+/// searches, seeds (innermost) and names each cell
+/// "<task>-<size>-<geometry>-<model>", appending "-<layers>" when the
+/// layer-stack axis has more than one value, "-<ecc>" when the ecc axis
+/// does, "-<refresh>" when the refresh axis does, "-<grid>" when the grid
+/// axis does, "-<knobs>" when the knob-search axis does, and "-s<seed>"
+/// when the seed axis does, so single-valued axes keep names short and
+/// multi-valued axes keep them unique.
 struct ScenarioMatrix {
   std::vector<data::Task> tasks = {data::Task::kDigits};
   std::vector<SizeSpec> sizes;
@@ -86,6 +94,7 @@ struct ScenarioMatrix {
   std::vector<RefreshSpec> refresh_policies = {
       {"ref-off", dram::RefreshPolicy::disabled()}};
   std::vector<VoltageGridSpec> voltage_grids = {VoltageGridSpec{}};
+  std::vector<LayerKnobsAxis> knob_searches = {LayerKnobsAxis{}};
   std::vector<std::uint64_t> seeds = {42};
 
   /// Shared (non-axis) knobs.
@@ -97,6 +106,10 @@ struct ScenarioMatrix {
 
   /// The cross product. Throws ContractViolation if any axis is empty or an
   /// axis value is unnamed; every produced scenario passes validate().
+  /// Because suffixes are only appended for multi-valued axes, two
+  /// different axis tuples could otherwise lower to the same name and
+  /// silently shadow each other — expand() guards against that by throwing
+  /// with BOTH source tuples when a name collision occurs.
   [[nodiscard]] std::vector<Scenario> expand() const;
 };
 

@@ -74,6 +74,23 @@ void write_config(json::Writer& w, const Scenario& s) {
   // to dense, is still visible in the report when selected).
   if (s.engine != snn::EngineKind::kDense)
     w.field("engine", snn::to_string(s.engine));
+  // Same gating for the knob search: absent unless the scenario runs it.
+  if (s.layer_knobs) w.field("layer_knobs", true);
+  w.end_object();
+}
+
+/// One chosen (voltage, refresh, ECC) triple as a JSON object.
+void write_knob_choice(json::Writer& w, const core::LayerKnobChoice& c) {
+  w.begin_object();
+  w.field("v_supply", c.v_supply);
+  w.field("module_ber", c.module_ber);
+  w.field("refresh_multiplier", c.refresh_multiplier);
+  w.field("ecc_scheme", c.ecc_scheme);
+  w.field("raw_ber", c.raw_ber);
+  w.field("tolerable_ber", c.tolerable_ber);
+  w.field("energy_nj", c.energy_nj);
+  w.field("meets_floor", c.meets_floor);
+  w.field("retention_weak_cells", c.retention_weak_cells);
   w.end_object();
 }
 
@@ -175,6 +192,23 @@ void write_report(json::Writer& w, const Scenario& s,
     w.end_object();
   }
   w.end_array();
+  // Per-layer operating points (knob-search scenarios only, so every
+  // knob-free report keeps its byte layout).
+  if (s.layer_knobs && r.layer_knobs.has_value()) {
+    const core::LayerKnobsReport& k = *r.layer_knobs;
+    w.key("layer_knobs").begin_object();
+    w.key("layers").begin_array();
+    for (const auto& c : k.layers) write_knob_choice(w, c);
+    w.end_array();
+    w.field("total_energy_nj", k.total_energy_nj);
+    w.field("uniform_feasible", k.uniform_feasible);
+    if (k.uniform_feasible) {
+      w.key("uniform");
+      write_knob_choice(w, k.uniform);
+      w.field("uniform_energy_nj", k.uniform_energy_nj);
+    }
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -222,6 +256,9 @@ std::string digest(const ScenarioResult& result) {
   // The engine header line follows the same gating: absent for the default
   // dense engine, so pre-event digests stay byte-identical.
   const bool engine_on = result.scenario.engine != snn::EngineKind::kDense;
+  // Knob-search lines (K<n>) only for scenarios that ran the search.
+  const bool knobs_on =
+      result.scenario.layer_knobs && r.layer_knobs.has_value();
   std::string d;
   d += "scenario=" + result.scenario.name + "\n";
   if (engine_on)
@@ -302,6 +339,38 @@ std::string digest(const ScenarioResult& result) {
         d += "\n";
       }
     }
+  }
+  if (knobs_on) {
+    // Per-layer operating points: one K<n> line per layer with the chosen
+    // (voltage, refresh multiplier, ECC) triple and the evaluation that
+    // justified it, then the uniform baseline and the energy split.
+    const core::LayerKnobsReport& k = *r.layer_knobs;
+    for (std::size_t l = 0; l < k.layers.size(); ++l) {
+      const auto& c = k.layers[l];
+      d += "K" + std::to_string(l);
+      d += " v=" + fixed(3, c.v_supply);
+      d += " m=" + fixed(1, c.refresh_multiplier);
+      d += " ecc=" + c.ecc_scheme;
+      d += " raw=" + sci(3, c.raw_ber);
+      d += " tol=" + sci(3, c.tolerable_ber);
+      d += " energy_nj=" + sci(6, c.energy_nj);
+      d += std::string(" floor=") + (c.meets_floor ? "1" : "0");
+      d += " retweak=" + std::to_string(c.retention_weak_cells);
+      d += "\n";
+    }
+    if (k.uniform_feasible) {
+      d += "Kuniform v=" + fixed(3, k.uniform.v_supply);
+      d += " m=" + fixed(1, k.uniform.refresh_multiplier);
+      d += " ecc=" + k.uniform.ecc_scheme;
+      d += " energy_nj=" + sci(6, k.uniform_energy_nj);
+      d += "\n";
+    }
+    d += "Ktotal energy_nj=" + sci(6, k.total_energy_nj);
+    d += std::string(" uniform_feasible=") + (k.uniform_feasible ? "1" : "0");
+    if (k.uniform_feasible && k.uniform_energy_nj > 0.0)
+      d += " save_pct=" +
+           fixed(4, 100.0 * (1.0 - k.total_energy_nj / k.uniform_energy_nj));
+    d += "\n";
   }
   return d;
 }

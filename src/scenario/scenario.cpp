@@ -31,6 +31,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
   cfg.voltages = voltages;
   cfg.seed = seed;
   cfg.network.engine = engine;
+  cfg.layer_knobs.enabled = layer_knobs;
   return cfg;
 }
 
@@ -176,6 +177,23 @@ Scenario smoke_digits_event_fx() {
   return s;
 }
 
+/// Golden-locked knob-search smoke run: the per-layer (voltage x refresh x
+/// ECC) operating-point search over the deep stack, with all three axes
+/// engaged (SECDED base code, 8x relaxed refresh) so every candidate
+/// dimension is exercised — the digest's K<n> lines pin the chosen triples
+/// and the per-layer-vs-uniform energy split.
+Scenario smoke_digits_knobs() {
+  Scenario s = smoke_digits_deep();
+  s.name = "smoke-digits-knobs";
+  s.description =
+      "tiny 2-layer digits net, SECDED ECC, 8x relaxed refresh, per-layer "
+      "knob search — golden-locked smoke run";
+  s.ecc = {error::EccKind::kSecded, 64, 0};
+  s.refresh = dram::RefreshPolicy::reduced(8.0);
+  s.layer_knobs = true;
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   all.push_back(smoke_digits_m0());
@@ -185,6 +203,7 @@ std::vector<Scenario> build_registry() {
   all.push_back(smoke_digits_deep());
   all.push_back(smoke_digits_ecc());
   all.push_back(smoke_digits_event_fx());
+  all.push_back(smoke_digits_knobs());
 
   const SizeSpec small{"small", 64, 250, 100, 1};
   const SizeSpec medium{"medium", 100, 400, 150, 2};

@@ -65,6 +65,11 @@ struct Scenario {
   /// by; kEvent is bitwise-identical to it; kEventFx is numerically
   /// different (fixed-point drive) and golden-locked separately.
   snn::EngineKind engine = snn::EngineKind::kDense;
+  /// Per-layer (voltage x refresh x ECC) operating-point search
+  /// (core::assign_layer_knobs). Off by default; when on, the report gains
+  /// the layer_knobs block and the digest its K<n> lines — knob-free
+  /// scenarios (including every pre-knobs golden) are byte-identical.
+  bool layer_knobs = false;
 
   /// Lowers the scenario to the pipeline configuration it describes.
   [[nodiscard]] core::PipelineConfig pipeline_config() const;
@@ -90,6 +95,7 @@ inline constexpr std::string_view kGoldenScenarios[] = {
     "smoke-digits-deep",
     "smoke-digits-ecc",
     "smoke-digits-event-fx",
+    "smoke-digits-knobs",
 };
 
 /// The built-in registry: ≥10 scenarios covering the evaluation grid, in a

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstring>
 #include <functional>
 #include <thread>
@@ -400,15 +399,6 @@ std::uint64_t digest_replies(std::vector<ClassifyReply>& replies) {
     mix(r.flips, 4);
   }
   return h;
-}
-
-double percentile(std::vector<double>& sample, double p) {
-  SPARKXD_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must lie in [0, 100]");
-  if (sample.empty()) return 0.0;
-  std::sort(sample.begin(), sample.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
-  return sample[rank == 0 ? 0 : rank - 1];
 }
 
 }  // namespace sparkxd::serve

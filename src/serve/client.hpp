@@ -102,10 +102,9 @@ struct ReplayStats {
 
 /// FNV-1a 64 over (id, label, spikes, flips) of the replies in ascending-id
 /// order (the input is sorted in place). Concurrency-order independent.
+///
+/// Latency percentiles: use sparkxd::percentile (common/stats.hpp) — the one
+/// shared implementation; an empty sample is a contract violation, never 0.
 [[nodiscard]] std::uint64_t digest_replies(std::vector<ClassifyReply>& replies);
-
-/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample; 0 when
-/// the sample is empty. The input is sorted in place.
-[[nodiscard]] double percentile(std::vector<double>& sample, double p);
 
 }  // namespace sparkxd::serve

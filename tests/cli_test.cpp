@@ -1,12 +1,17 @@
-// CLI contract tests for sparkxd_run: bad usage must exit 2 with a clear
-// stderr message, --help must exit 0. These run the real binary (path baked
-// in via SPARKXD_RUN_BIN) so the exit codes scripts and CI depend on are
-// pinned by a test, not convention.
+// CLI contract tests for sparkxd_run and sparkxd_replay: bad usage must
+// exit 2 with a clear stderr message, --help must exit 0, a replay that
+// served nothing must exit 1. These run the real binaries (paths baked in
+// via SPARKXD_RUN_BIN / SPARKXD_REPLAY_BIN) so the exit codes scripts and
+// CI depend on are pinned by a test, not convention.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 namespace {
 
@@ -15,8 +20,8 @@ struct RunResult {
   std::string output;  ///< stdout + stderr, merged
 };
 
-RunResult run_cli(const std::string& args) {
-  const std::string cmd = std::string(SPARKXD_RUN_BIN) + " " + args + " 2>&1";
+RunResult run_binary(const char* bin, const std::string& args) {
+  const std::string cmd = std::string(bin) + " " + args + " 2>&1";
   std::FILE* pipe = ::popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << cmd;
   RunResult result;
@@ -28,6 +33,26 @@ RunResult run_cli(const std::string& args) {
   const int status = ::pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+RunResult run_cli(const std::string& args) {
+  return run_binary(SPARKXD_RUN_BIN, args);
+}
+
+/// A loopback port that was just bound and released — nothing listens on
+/// it, so connections are refused (modulo an unlucky reuse race).
+int dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
 }
 
 TEST(CliTest, UnknownScenarioExitsTwoWithMessage) {
@@ -108,6 +133,29 @@ TEST(CliTest, ListExitsZeroAndNamesGoldenScenarios) {
   const auto r = run_cli("--list");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("smoke-digits-m0"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, LayerKnobsOverrideRenamesAndShowsInList) {
+  const auto r = run_cli("--list --scenario smoke-digits-m0 --layer-knobs");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("smoke-digits-m0-knobs"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[layer-knobs override]"), std::string::npos)
+      << r.output;
+}
+
+// Regression: serve::percentile used to return 0 on an empty sample, so a
+// replay that served nothing reported "p99=0us" and exited 0 — a fully
+// faulted run read as infinitely fast in the CI trend. A zero-served replay
+// must now fail loudly before any percentile is computed.
+TEST(CliTest, ReplayZeroServedExitsNonZero) {
+  const auto r = run_binary(
+      SPARKXD_REPLAY_BIN,
+      "--port " + std::to_string(dead_port()) +
+          " --requests 2 --allow-partial");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("zero replies"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("p99=0"), std::string::npos) << r.output;
 }
 
 }  // namespace

@@ -152,7 +152,7 @@ TEST(Registry, FindAndMatch) {
   EXPECT_EQ(find_scenario("smoke-digits-m0")->n_neurons, 25u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
   const auto smoke = match_scenarios("smoke");
-  EXPECT_EQ(smoke.size(), 7u);
+  EXPECT_EQ(smoke.size(), 8u);
   EXPECT_TRUE(match_scenarios("zzz").empty());
 }
 
@@ -382,6 +382,59 @@ TEST(Matrix, EccAxisSuffixesNamesOnlyWhenMultiValued) {
     EXPECT_EQ(s.name.find("ecc"), std::string::npos) << s.name;
 }
 
+TEST(Matrix, KnobSearchAxisSuffixesNamesOnlyWhenMultiValued) {
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.knob_searches = {{"knobs-off", false}, {"knobs-on", true}};
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].name, "digits-tiny-commodity-m0-knobs-off");
+  EXPECT_EQ(scenarios[1].name, "digits-tiny-commodity-m0-knobs-on");
+  EXPECT_FALSE(scenarios[0].layer_knobs);
+  EXPECT_TRUE(scenarios[1].layer_knobs);
+  // Single-valued knob axis (the default) leaves names untouched.
+  for (const auto& s : small_matrix().expand())
+    EXPECT_EQ(s.name.find("knobs"), std::string::npos) << s.name;
+}
+
+TEST(Matrix, DuplicateAxisValueNamesCollideLoudly) {
+  // Two refresh-axis values with the same name lower two different tuples
+  // to one scenario name; in a registry the second would silently shadow
+  // the first. expand() must throw and name both source tuples.
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.refresh_policies = {{"relaxed", dram::RefreshPolicy::reduced(4.0)},
+                        {"relaxed", dram::RefreshPolicy::reduced(8.0)}};
+  try {
+    (void)m.expand();
+    FAIL() << "duplicate names must not expand silently";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario name collision"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("produced by both"), std::string::npos) << what;
+    EXPECT_NE(what.find("refresh=relaxed"), std::string::npos) << what;
+  }
+}
+
+TEST(Matrix, CrossAxisSuffixCollisionsAreDetected) {
+  // Suffixes are plain dash joins, so distinctly-named values on DIFFERENT
+  // axes can still concatenate to the same name: ecc "a" + refresh "b-c"
+  // == ecc "a-b" + refresh "c". The guard catches those too.
+  auto m = small_matrix();
+  m.tasks = {data::Task::kDigits};
+  m.error_models = {{"m0", {}}};
+  m.geometries = {{"commodity", dram::Geometry::lpddr3_4gb(), false}};
+  m.ecc_schemes = {{"a", {}}, {"a-b", {}}};
+  m.refresh_policies = {{"b-c", dram::RefreshPolicy::nominal()},
+                        {"c", dram::RefreshPolicy::nominal()}};
+  EXPECT_THROW((void)m.expand(), ContractViolation);
+}
+
 TEST(Matrix, RejectsEmptyAxes) {
   auto m = small_matrix();
   m.sizes.clear();
@@ -569,6 +622,46 @@ TEST(Runner, DigestEmitsEccFieldsOnlyForEccScenarios) {
   EXPECT_NE(json.find("\"ecc_corrected\""), std::string::npos);
   EXPECT_EQ(to_json({golden_result(0)}).find("\"ecc_layers\""),
             std::string::npos);
+}
+
+TEST(Runner, DigestEmitsKnobFieldsOnlyForKnobScenarios) {
+  // Knob-free digests must not change shape (the checked-in goldens depend
+  // on it); knob-search scenarios gain the K<n> per-layer operating-point
+  // lines plus the Kuniform/Ktotal energy split.
+  const auto legacy = digest(golden_result(0));
+  EXPECT_EQ(legacy.find("\nK0 "), std::string::npos);
+  EXPECT_EQ(legacy.find("\nKtotal "), std::string::npos);
+  const auto knobs = digest(golden_result(7));
+  EXPECT_NE(knobs.find("\nK0 v="), std::string::npos);
+  EXPECT_NE(knobs.find("\nK1 v="), std::string::npos);
+  EXPECT_NE(knobs.find(" raw="), std::string::npos);
+  EXPECT_NE(knobs.find(" tol="), std::string::npos);
+  EXPECT_NE(knobs.find(" floor="), std::string::npos);
+  EXPECT_NE(knobs.find("\nKtotal energy_nj="), std::string::npos);
+
+  // The JSON gains the layer_knobs block for knob scenarios only.
+  const auto json = to_json({golden_result(7)});
+  EXPECT_NE(json.find("\"layer_knobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_energy_nj\""), std::string::npos);
+  EXPECT_NE(json.find("\"uniform_feasible\""), std::string::npos);
+  EXPECT_EQ(to_json({golden_result(0)}).find("\"layer_knobs\""),
+            std::string::npos);
+}
+
+TEST(Runner, KnobReportBeatsOrMatchesTheUniformBaseline) {
+  // The acceptance criterion of the per-layer assignment: at the same
+  // accuracy floor, the per-layer total can never exceed the best uniform
+  // triple (each layer minimizes over a superset of the shared choice).
+  const auto& r = golden_result(7);
+  ASSERT_TRUE(r.report.layer_knobs.has_value());
+  const auto& k = *r.report.layer_knobs;
+  ASSERT_EQ(k.layers.size(), 2u);  // deep 2-layer smoke stack
+  for (const auto& c : k.layers) {
+    EXPECT_TRUE(c.meets_floor);
+    EXPECT_LE(c.raw_ber, c.tolerable_ber);
+  }
+  ASSERT_TRUE(k.uniform_feasible);
+  EXPECT_LE(k.total_energy_nj, k.uniform_energy_nj);
 }
 
 TEST(Runner, EccReportAggregatesThePerLayerScrubCounters) {
